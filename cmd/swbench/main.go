@@ -1,0 +1,59 @@
+// Command swbench regenerates the experiment tables of EXPERIMENTS.md:
+// every table validates one quantitative claim of "On Small World Graphs
+// in Non-uniformly Distributed Key Spaces" (ICDE 2005).
+//
+// Usage:
+//
+//	swbench [-scale quick|full] [-seed N] [-exp E1,E7] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"smallworld/internal/exp"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	only := flag.String("exp", "", "comma-separated experiment ids (default all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	var scale exp.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = exp.Quick
+	case "full":
+		scale = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "swbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	for _, r := range exp.Runners() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		table := r.Run(scale, *seed)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Println(table.String())
+		}
+		fmt.Printf("(%s completed in %s at %s scale, seed %d)\n\n", r.ID, elapsed, scale, *seed)
+	}
+}

@@ -1,0 +1,166 @@
+// Command swsim builds one small-world overlay and reports its routing
+// behaviour — the interactive companion to swbench.
+//
+// Usage:
+//
+//	swsim [-n 4096] [-dist uniform|power:0.8|exp:8|normal:0.5,0.1|zipf:256,1] \
+//	      [-measure mass|geometric] [-sampler protocol|exact] [-degree 0=log2N] \
+//	      [-topology ring|line] [-queries 2000] [-seed 1] [-fail 0.5] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/metrics"
+	"smallworld/internal/smallworld"
+	"smallworld/internal/xrand"
+)
+
+func parseDist(s string) (dist.Distribution, error) {
+	name, arg, _ := strings.Cut(s, ":")
+	switch name {
+	case "uniform":
+		return dist.Uniform{}, nil
+	case "power":
+		a, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("power needs an exponent: %w", err)
+		}
+		return dist.NewPower(a), nil
+	case "exp":
+		l, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("exp needs a rate: %w", err)
+		}
+		return dist.NewTruncExp(l), nil
+	case "normal":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("normal needs mu,sigma")
+		}
+		mu, err1 := strconv.ParseFloat(parts[0], 64)
+		sigma, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("normal needs numeric mu,sigma")
+		}
+		return dist.NewTruncNormal(mu, sigma), nil
+	case "zipf":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("zipf needs k,s")
+		}
+		k, err1 := strconv.Atoi(parts[0])
+		s2, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("zipf needs numeric k,s")
+		}
+		return dist.NewZipf(k, s2), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}
+
+func main() {
+	n := flag.Int("n", 4096, "number of peers")
+	distFlag := flag.String("dist", "uniform", "identifier distribution")
+	measure := flag.String("measure", "mass", "link weight measure: mass or geometric")
+	sampler := flag.String("sampler", "protocol", "link sampler: protocol or exact")
+	degree := flag.Int("degree", 0, "long links per peer (0 = log2 N)")
+	topo := flag.String("topology", "ring", "key space topology: ring or line")
+	queries := flag.Int("queries", 2000, "number of random lookups")
+	seed := flag.Uint64("seed", 1, "random seed")
+	fail := flag.Float64("fail", 0, "fraction of long links to fail before routing")
+	verbose := flag.Bool("verbose", false, "print per-partition link histogram")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	d, err := parseDist(*distFlag)
+	if err != nil {
+		die(err)
+	}
+	cfg := smallworld.Config{N: *n, Dist: d, Seed: *seed}
+	switch *measure {
+	case "mass":
+		cfg.Measure = smallworld.Mass
+	case "geometric":
+		cfg.Measure = smallworld.Geometric
+	default:
+		die(fmt.Errorf("unknown measure %q", *measure))
+	}
+	switch *sampler {
+	case "protocol":
+		cfg.Sampler = smallworld.Protocol
+	case "exact":
+		cfg.Sampler = smallworld.Exact
+	default:
+		die(fmt.Errorf("unknown sampler %q", *sampler))
+	}
+	switch *topo {
+	case "ring":
+		cfg.Topology = keyspace.Ring
+	case "line":
+		cfg.Topology = keyspace.Line
+	default:
+		die(fmt.Errorf("unknown topology %q", *topo))
+	}
+	if *degree > 0 {
+		cfg.Degree = smallworld.ConstDegree(*degree)
+	}
+
+	nw, err := smallworld.Build(cfg)
+	if err != nil {
+		die(err)
+	}
+	if *fail > 0 {
+		nw = nw.WithFailedLinks(xrand.New(*seed+1), *fail)
+	}
+
+	deg := nw.Graph().DegreeStats()
+	fmt.Printf("network: n=%d dist=%s measure=%s sampler=%s topology=%s\n",
+		nw.N(), d.Name(), cfg.Measure, cfg.Sampler, cfg.Topology)
+	fmt.Printf("edges: %d (out-degree mean %.2f max %.0f), shortfall %d\n",
+		nw.Graph().M(), deg.Mean(), deg.Max(), nw.Shortfall())
+
+	rng := xrand.New(*seed + 2)
+	hops := make([]float64, 0, *queries)
+	arrived := 0
+	for i := 0; i < *queries; i++ {
+		rt := nw.RouteToNode(rng.Intn(nw.N()), rng.Intn(nw.N()))
+		if rt.Arrived {
+			arrived++
+		}
+		hops = append(hops, float64(rt.Hops()))
+	}
+	fmt.Printf("lookups: %d, arrived %.1f%%\n", *queries, 100*float64(arrived)/float64(*queries))
+	fmt.Printf("hops: mean %.2f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n",
+		metrics.Mean(hops),
+		metrics.Percentile(hops, 0.5), metrics.Percentile(hops, 0.95),
+		metrics.Percentile(hops, 0.99), metrics.Percentile(hops, 1))
+
+	if *verbose {
+		fmt.Println("\nlong-range links per doubling partition (normalised space):")
+		counts := nw.LinkPartitionCounts()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		for j, c := range counts {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(c) / float64(total)
+			}
+			fmt.Printf("  A%-2d %7d  %5.1f%%  %s\n", j+1, c, share,
+				strings.Repeat("#", int(share)))
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package smallworld is a from-scratch Go reproduction of "On Small
+// World Graphs in Non-uniformly Distributed Key Spaces" (Girdzijauskas,
+// Datta, Aberer — ICDE 2005): routing-efficient small-world overlay
+// networks for peer populations with arbitrary, skewed identifier
+// distributions.
+//
+// The implementation lives under internal/:
+//
+//   - internal/smallworld — the paper's two models (uniform-density
+//     logarithmic-outdegree, and the skew-adapted mass criterion of
+//     Eq. 7) plus the classic Kleinberg construction;
+//   - internal/dist, internal/keyspace, internal/graph, internal/xrand,
+//     internal/metrics — the substrates (densities with exact CDF and
+//     quantile maps, the unit key space, graph analytics, deterministic
+//     randomness, statistics);
+//   - internal/dht/{chord,pastry,pgrid,symphony,can} — the comparison
+//     baselines the paper references;
+//   - internal/overlay — a concurrent simulation of the Section 4.2
+//     join/refinement protocol;
+//   - internal/exp — the experiment harness regenerating every table in
+//     EXPERIMENTS.md.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// experiment index, and EXPERIMENTS.md for paper-claim-vs-measured
+// results. The benchmarks in bench_test.go regenerate every experiment
+// table (run with -v to see them).
+package smallworld

@@ -1,0 +1,75 @@
+// Churn: drive the Section 4.2 construction protocol through sustained
+// membership churn. Peers join by routing to themselves and sampling
+// long-range links, leave with repairs, and — in the realistic mode —
+// learn the identifier density from random walks and iteratively refine
+// their routing tables. The overlay keeps its O(log N) routing through
+// all of it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/metrics"
+	"smallworld/internal/overlay"
+	"smallworld/internal/workload"
+	"smallworld/internal/xrand"
+)
+
+func main() {
+	f := dist.NewTruncExp(6) // skewed identifier density
+	nw := overlay.New(overlay.Config{
+		Dist:         f,
+		Oracle:       false, // peers must *learn* f
+		EstimateBins: 24,
+		Seed:         3,
+	})
+	if err := nw.Bootstrap(512); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("bootstrapped %d peers on %s keys (estimated density mode)\n\n", nw.Size(), f.Name())
+	report := func(phase string) {
+		hops := nw.HopStats(99, 800)
+		fmt.Printf("%-28s size %4d  hops mean %.2f p99 %.0f  (log2 N = %.1f)  msgs %d\n",
+			phase, nw.Size(), metrics.Mean(hops), metrics.Percentile(hops, 0.99),
+			math.Log2(float64(nw.Size())), nw.Messages())
+	}
+	report("after bootstrap:")
+
+	// Refine: peers sample the network and adapt their links to the skew.
+	for round := 1; round <= 3; round++ {
+		nw.Refine(48, 6)
+		report(fmt.Sprintf("after refinement round %d:", round))
+	}
+
+	// Sustained churn: 600 events, 2/3 joins.
+	rng := xrand.New(5)
+	trace := workload.ChurnTrace(600, 2.0/3.0, rng)
+	joins, leaves := 0, 0
+	var joinCost metrics.Summary
+	for _, ev := range trace {
+		switch ev.Kind {
+		case workload.Join:
+			_, stats, err := nw.Join()
+			if err != nil {
+				log.Fatal(err)
+			}
+			joinCost.Add(float64(stats.Total()))
+			joins++
+		case workload.Leave:
+			peers := nw.Peers()
+			nw.Leave(peers[rng.Intn(len(peers))], true)
+			leaves++
+		}
+	}
+	fmt.Printf("\nchurn: %d joins (mean cost %.0f msgs), %d leaves (with repair)\n",
+		joins, joinCost.Mean(), leaves)
+	report("after churn:")
+
+	// One more refinement pass re-adapts the survivors.
+	nw.Refine(48, 6)
+	report("after post-churn refinement:")
+}

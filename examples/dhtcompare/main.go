@@ -1,0 +1,22 @@
+// Dhtcompare: put the paper's family portrait on one screen — the two
+// small-world models against Chord, Pastry, P-Grid, Symphony and
+// Mercury, on uniform and on skewed key populations (experiment E4/E14
+// of DESIGN.md, at interactive size).
+package main
+
+import (
+	"fmt"
+
+	"smallworld/internal/exp"
+)
+
+func main() {
+	fmt.Println("comparing overlays at quick scale (seed 1)...")
+	fmt.Println()
+	tab := exp.E4DHTComparison(exp.Quick, 1)
+	fmt.Println(tab.String())
+	tab = exp.E14Mercury(exp.Quick, 1)
+	fmt.Println(tab.String())
+	tab = exp.E12CANDegradation(exp.Quick, 1)
+	fmt.Println(tab.String())
+}

@@ -1,0 +1,167 @@
+// Package chord implements the Chord DHT (Stoica et al., SIGCOMM 2001 —
+// the paper's reference [15]) as a comparison baseline: nodes on a 64-bit
+// identifier ring with finger tables pointing at the successor of
+// id + 2^i, and lookups that hop through the closest preceding finger.
+//
+// Chord is the archetypal "logarithmic-style" overlay of Section 3.1: its
+// routing table holds one entry per doubling partition of the ring (the
+// successor of each 2^i offset), which the paper identifies as the
+// strictly-partitioned special case of the small-world model.
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"smallworld/internal/xrand"
+)
+
+// M is the identifier bit width.
+const M = 64
+
+// Network is a fully built Chord ring.
+type Network struct {
+	ids     []uint64  // sorted node identifiers
+	fingers [][]int32 // deduplicated finger entries per node (indices)
+	succ    []int32   // immediate successor index per node
+	pred    []int32   // immediate predecessor index per node
+}
+
+// Build creates a Chord network of n nodes with random 64-bit ids.
+// It panics if n < 2 (a ring needs at least two nodes).
+func Build(n int, seed uint64) *Network {
+	if n < 2 {
+		panic("chord: need at least 2 nodes")
+	}
+	rng := xrand.New(seed)
+	ids := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	for i := range ids {
+		for {
+			id := rng.Uint64()
+			if !seen[id] {
+				seen[id] = true
+				ids[i] = id
+				break
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nw := &Network{
+		ids:     ids,
+		fingers: make([][]int32, n),
+		succ:    make([]int32, n),
+		pred:    make([]int32, n),
+	}
+	for u := 0; u < n; u++ {
+		nw.succ[u] = int32((u + 1) % n)
+		nw.pred[u] = int32((u + n - 1) % n)
+		var fingers []int32
+		var last int32 = -1
+		for i := 0; i < M; i++ {
+			start := ids[u] + (uint64(1) << uint(i)) // wraps mod 2^64 naturally
+			f := int32(nw.successorIndex(start))
+			if f != last && int(f) != u {
+				fingers = append(fingers, f)
+				last = f
+			}
+		}
+		nw.fingers[u] = fingers
+	}
+	return nw
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.ids) }
+
+// ID returns node u's ring identifier.
+func (nw *Network) ID(u int) uint64 { return nw.ids[u] }
+
+// TableSize returns the number of distinct routing entries node u keeps
+// (fingers plus the immediate successor when not already a finger).
+func (nw *Network) TableSize(u int) int {
+	size := len(nw.fingers[u])
+	if !containsIdx(nw.fingers[u], nw.succ[u]) {
+		size++
+	}
+	return size
+}
+
+func containsIdx(xs []int32, x int32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// successorIndex returns the index of the first node with id >= x,
+// wrapping to index 0 past the top of the ring.
+func (nw *Network) successorIndex(x uint64) int {
+	i := sort.Search(len(nw.ids), func(i int) bool { return nw.ids[i] >= x })
+	if i == len(nw.ids) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the node responsible for key x: its successor on the ring.
+func (nw *Network) Owner(x uint64) int { return nw.successorIndex(x) }
+
+// inOpenClosed reports whether x lies in the ring interval (a, b].
+func inOpenClosed(x, a, b uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b // wrapping interval
+}
+
+// Lookup routes a query for key x from node src using Chord's
+// closest-preceding-finger rule, returning the hop count and the owner
+// reached. The hop count excludes the query origin.
+func (nw *Network) Lookup(src int, x uint64) (hops, owner int) {
+	cur := src
+	guard := len(nw.ids) + M
+	for step := 0; step < guard; step++ {
+		// Local ownership check first, as every deployed implementation
+		// does: without it a query for a key the origin already owns
+		// would travel the whole ring.
+		if inOpenClosed(x, nw.ids[nw.pred[cur]], nw.ids[cur]) {
+			return hops, cur
+		}
+		succ := int(nw.succ[cur])
+		if inOpenClosed(x, nw.ids[cur], nw.ids[succ]) {
+			// The successor owns x; one final hop unless we are it.
+			if cur == succ {
+				return hops, cur
+			}
+			return hops + 1, succ
+		}
+		next := nw.closestPreceding(cur, x)
+		if next == cur {
+			// No finger precedes x: fall through to the successor.
+			next = succ
+		}
+		cur = next
+		hops++
+	}
+	panic(fmt.Sprintf("chord: lookup for %d from %d did not converge", x, src))
+}
+
+// closestPreceding returns the finger of cur that most closely precedes
+// x on the ring, or cur itself when none does.
+func (nw *Network) closestPreceding(cur int, x uint64) int {
+	best := cur
+	for i := len(nw.fingers[cur]) - 1; i >= 0; i-- {
+		f := int(nw.fingers[cur][i])
+		if inOpenClosed(nw.ids[f], nw.ids[cur], x-1) && nw.ids[f] != x {
+			// Candidate strictly inside (cur, x); fingers are scanned
+			// from the farthest down, so the first hit is the closest
+			// preceding one.
+			best = f
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+package chord
+
+import (
+	"math"
+	"testing"
+
+	"smallworld/internal/metrics"
+	"smallworld/internal/xrand"
+)
+
+func TestBuildSortedAndDistinct(t *testing.T) {
+	nw := Build(256, 1)
+	for i := 1; i < nw.N(); i++ {
+		if nw.ID(i) <= nw.ID(i-1) {
+			t.Fatalf("ids not strictly ascending at %d", i)
+		}
+	}
+}
+
+func TestBuildPanicsTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build(1) did not panic")
+		}
+	}()
+	Build(1, 1)
+}
+
+func TestOwner(t *testing.T) {
+	nw := Build(64, 2)
+	// The owner of a node's own id is that node.
+	for u := 0; u < nw.N(); u++ {
+		if nw.Owner(nw.ID(u)) != u {
+			t.Fatalf("Owner(id[%d]) = %d", u, nw.Owner(nw.ID(u)))
+		}
+	}
+	// A key just above a node's id belongs to its successor.
+	if nw.Owner(nw.ID(10)+1) != 11 {
+		t.Errorf("Owner(id[10]+1) = %d, want 11", nw.Owner(nw.ID(10)+1))
+	}
+	// Keys above the top node wrap to node 0.
+	if nw.Owner(nw.ID(nw.N()-1)+1) != 0 {
+		t.Error("keys past the top must wrap to node 0")
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	nw := Build(256, 3)
+	r := xrand.New(4)
+	for i := 0; i < 2000; i++ {
+		src := r.Intn(nw.N())
+		x := r.Uint64()
+		hops, owner := nw.Lookup(src, x)
+		if owner != nw.Owner(x) {
+			t.Fatalf("lookup(%d, %d): owner %d, want %d", src, x, owner, nw.Owner(x))
+		}
+		if hops < 0 || hops > nw.N() {
+			t.Fatalf("hops = %d out of range", hops)
+		}
+	}
+}
+
+func TestLookupOwnKeyIsFree(t *testing.T) {
+	nw := Build(64, 5)
+	hops, owner := nw.Lookup(7, nw.ID(7))
+	if hops != 0 || owner != 7 {
+		t.Errorf("looking up own id: hops=%d owner=%d", hops, owner)
+	}
+}
+
+func TestLookupLogarithmicHops(t *testing.T) {
+	const n = 1024
+	nw := Build(n, 6)
+	r := xrand.New(7)
+	var s metrics.Summary
+	for i := 0; i < 3000; i++ {
+		hops, _ := nw.Lookup(r.Intn(n), r.Uint64())
+		s.Add(float64(hops))
+	}
+	log2n := math.Log2(n)
+	// Chord's expected lookup cost is ~0.5·log2 N.
+	if s.Mean() > log2n || s.Mean() < 0.25*log2n {
+		t.Errorf("mean hops = %.2f, want ~0.5·log2N = %.2f", s.Mean(), 0.5*log2n)
+	}
+}
+
+func TestTableSizeLogarithmic(t *testing.T) {
+	const n = 1024
+	nw := Build(n, 8)
+	var s metrics.Summary
+	for u := 0; u < n; u++ {
+		s.Add(float64(nw.TableSize(u)))
+	}
+	// Distinct fingers ≈ log2 N.
+	if s.Mean() < 0.5*math.Log2(n) || s.Mean() > 2*math.Log2(n) {
+		t.Errorf("mean table size = %.2f, want ≈ log2 N = %.2f", s.Mean(), math.Log2(n))
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a, b := Build(128, 9), Build(128, 9)
+	for u := 0; u < a.N(); u++ {
+		if a.ID(u) != b.ID(u) {
+			t.Fatal("ids differ across identical builds")
+		}
+		if len(a.fingers[u]) != len(b.fingers[u]) {
+			t.Fatal("fingers differ across identical builds")
+		}
+	}
+}
+
+func TestInOpenClosed(t *testing.T) {
+	cases := []struct {
+		x, a, b uint64
+		want    bool
+	}{
+		{5, 3, 7, true},
+		{3, 3, 7, false}, // open at a
+		{7, 3, 7, true},  // closed at b
+		{9, 3, 7, false},
+		{1, 7, 3, true},  // wrapping
+		{8, 7, 3, true},  // wrapping
+		{5, 7, 3, false}, // wrapping, outside
+	}
+	for _, c := range cases {
+		if got := inOpenClosed(c.x, c.a, c.b); got != c.want {
+			t.Errorf("inOpenClosed(%d,%d,%d) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package pastry implements a Pastry-style prefix-routing DHT (Rowstron &
+// Druschel, Middleware 2001 — the paper's reference [14]): nodes carry
+// random 64-bit identifiers read as digits of base 2^b, each node keeps a
+// routing table with one row per shared-prefix length and one entry per
+// next digit, plus a leaf set of the numerically closest nodes. Lookups
+// fix at least one digit per hop, giving O(log_{2^b} N) routing.
+//
+// Pastry is one of the "logarithmic-style" overlays the paper's
+// Section 3.1 identifies as a strictly-partitioned special case of the
+// small-world model (base-k partitions instead of base-2).
+package pastry
+
+import (
+	"fmt"
+	"sort"
+
+	"smallworld/internal/xrand"
+)
+
+// Config describes a Pastry network.
+type Config struct {
+	// N is the number of nodes (>= 2).
+	N int
+	// BitsPerDigit is Pastry's b parameter (digits of base 2^b).
+	// Default 4, the value the Pastry paper uses.
+	BitsPerDigit uint
+	// LeafSet is the number of numerically closest nodes kept on each
+	// side. Default 8 (half of the paper's |L| = 16).
+	LeafSet int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Network is a built Pastry overlay.
+type Network struct {
+	cfg    Config
+	ids    []uint64  // sorted node ids
+	rows   int       // digits per id = 64 / b
+	table  [][]int32 // per node: rows*cols flattened; -1 = empty
+	leaves [][]int32 // per node: leaf set (indices), both sides
+}
+
+// Build constructs the network with full routing state. It returns an
+// error for invalid configs.
+func Build(cfg Config) (*Network, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("pastry: N = %d, need >= 2", cfg.N)
+	}
+	if cfg.BitsPerDigit == 0 {
+		cfg.BitsPerDigit = 4
+	}
+	if 64%cfg.BitsPerDigit != 0 {
+		return nil, fmt.Errorf("pastry: b = %d must divide 64", cfg.BitsPerDigit)
+	}
+	if cfg.LeafSet == 0 {
+		cfg.LeafSet = 8
+	}
+	if cfg.LeafSet < 1 {
+		return nil, fmt.Errorf("pastry: leaf set %d must be positive", cfg.LeafSet)
+	}
+	rng := xrand.New(cfg.Seed)
+	ids := make([]uint64, cfg.N)
+	seen := make(map[uint64]bool, cfg.N)
+	for i := range ids {
+		for {
+			id := rng.Uint64()
+			if !seen[id] {
+				seen[id] = true
+				ids[i] = id
+				break
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nw := &Network{
+		cfg:    cfg,
+		ids:    ids,
+		rows:   int(64 / cfg.BitsPerDigit),
+		table:  make([][]int32, cfg.N),
+		leaves: make([][]int32, cfg.N),
+	}
+	cols := 1 << cfg.BitsPerDigit
+	for u := 0; u < cfg.N; u++ {
+		nw.table[u] = nw.fillTable(u, cols, rng)
+		nw.leaves[u] = nw.fillLeaves(u)
+	}
+	return nw, nil
+}
+
+// digit returns the i-th base-2^b digit of id, most significant first.
+func (nw *Network) digit(id uint64, i int) int {
+	b := nw.cfg.BitsPerDigit
+	shift := 64 - uint(i+1)*b
+	return int((id >> shift) & ((1 << b) - 1))
+}
+
+// fillTable builds node u's routing table: entry (r, c) is a random node
+// sharing r digits of prefix with u and having digit c at position r,
+// or -1 when no such node exists.
+func (nw *Network) fillTable(u, cols int, rng *xrand.Stream) []int32 {
+	t := make([]int32, nw.rows*cols)
+	for i := range t {
+		t[i] = -1
+	}
+	id := nw.ids[u]
+	b := nw.cfg.BitsPerDigit
+	for r := 0; r < nw.rows; r++ {
+		shift := 64 - uint(r+1)*b
+		prefix := id >> (shift + b) << (shift + b) // id with digits >= r zeroed
+		for c := 0; c < cols; c++ {
+			if c == nw.digit(id, r) {
+				continue // that's u's own column
+			}
+			lo := prefix | uint64(c)<<shift
+			hi := lo + (uint64(1) << shift) // exclusive; wraps to 0 at the top
+			loIdx := sort.Search(len(nw.ids), func(i int) bool { return nw.ids[i] >= lo })
+			hiIdx := len(nw.ids)
+			if hi != 0 {
+				hiIdx = sort.Search(len(nw.ids), func(i int) bool { return nw.ids[i] >= hi })
+			}
+			if hiIdx > loIdx {
+				t[r*cols+c] = int32(loIdx + rng.Intn(hiIdx-loIdx))
+			}
+		}
+	}
+	return t
+}
+
+// fillLeaves collects the cfg.LeafSet nearest nodes on each side of u in
+// id order (wrapping).
+func (nw *Network) fillLeaves(u int) []int32 {
+	n := nw.cfg.N
+	l := cfg0(nw.cfg.LeafSet, n)
+	leaves := make([]int32, 0, 2*l)
+	for i := 1; i <= l; i++ {
+		leaves = append(leaves, int32((u+i)%n), int32((u+n-i)%n))
+	}
+	return leaves
+}
+
+func cfg0(l, n int) int {
+	if l > (n-1)/2 {
+		l = (n - 1) / 2
+	}
+	return l
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.ids) }
+
+// ID returns node u's identifier.
+func (nw *Network) ID(u int) uint64 { return nw.ids[u] }
+
+// TableSize returns the number of populated routing entries plus leaf-set
+// entries node u keeps.
+func (nw *Network) TableSize(u int) int {
+	size := len(nw.leaves[u])
+	for _, e := range nw.table[u] {
+		if e >= 0 {
+			size++
+		}
+	}
+	return size
+}
+
+// circularDist returns the circular distance between two 64-bit ids.
+func circularDist(a, b uint64) uint64 {
+	d := a - b
+	if b > a {
+		d = b - a
+	}
+	if d > (^uint64(0))/2 {
+		d = ^uint64(0) - d + 1
+	}
+	return d
+}
+
+// Owner returns the node numerically closest to key (circular),
+// tie-breaking to the lower index.
+func (nw *Network) Owner(key uint64) int {
+	i := sort.Search(len(nw.ids), func(i int) bool { return nw.ids[i] >= key })
+	succ := i % len(nw.ids)
+	pred := (i + len(nw.ids) - 1) % len(nw.ids)
+	ds, dp := circularDist(nw.ids[succ], key), circularDist(nw.ids[pred], key)
+	if dp < ds || (dp == ds && pred < succ) {
+		return pred
+	}
+	return succ
+}
+
+// sharedDigits returns the length of the common digit prefix of a and b.
+func (nw *Network) sharedDigits(a, b uint64) int {
+	for r := 0; r < nw.rows; r++ {
+		if nw.digit(a, r) != nw.digit(b, r) {
+			return r
+		}
+	}
+	return nw.rows
+}
+
+// Lookup routes a query for key from node src. Phase 1 applies Pastry's
+// primary rule — forward to the routing-table entry that extends the
+// shared digit prefix — which strictly lengthens the prefix each hop.
+// Because tables here are filled from global knowledge, a missing entry
+// means no node in the network extends the prefix, so phase 2 finishes
+// with Pastry's leaf-set rule: walk to the numerically closest leaf,
+// which strictly shrinks the numerical distance until the closest node
+// is reached. The phase split gives the termination guarantee that real
+// Pastry gets from its leaf-set invariants.
+func (nw *Network) Lookup(src int, key uint64) (hops, owner int) {
+	cur := src
+	cols := 1 << nw.cfg.BitsPerDigit
+	for {
+		if nw.ids[cur] == key {
+			return hops, cur
+		}
+		r := nw.sharedDigits(nw.ids[cur], key)
+		if r >= nw.rows {
+			break
+		}
+		e := nw.table[cur][r*cols+nw.digit(key, r)]
+		if e < 0 {
+			break
+		}
+		cur = int(e)
+		hops++
+	}
+	for step := 0; step <= nw.cfg.N; step++ {
+		dCur := circularDist(nw.ids[cur], key)
+		best, bestD := -1, dCur
+		for _, v := range nw.leaves[cur] {
+			if d := circularDist(nw.ids[v], key); d < bestD {
+				best, bestD = int(v), d
+			}
+		}
+		if best == -1 {
+			return hops, cur
+		}
+		cur = best
+		hops++
+	}
+	panic(fmt.Sprintf("pastry: lookup for %d from %d did not converge", key, src))
+}

@@ -1,0 +1,184 @@
+package pastry
+
+import (
+	"math"
+	"testing"
+
+	"smallworld/internal/metrics"
+	"smallworld/internal/xrand"
+)
+
+func mustBuild(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	nw, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return nw
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{N: 1}); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := Build(Config{N: 8, BitsPerDigit: 3}); err == nil {
+		t.Error("b=3 does not divide 64, should fail")
+	}
+	if _, err := Build(Config{N: 8, LeafSet: -1}); err == nil {
+		t.Error("negative leaf set should fail")
+	}
+}
+
+func TestDigits(t *testing.T) {
+	nw := mustBuild(t, Config{N: 2, Seed: 1})
+	id := uint64(0xABCD_EF01_2345_6789)
+	want := []int{0xA, 0xB, 0xC, 0xD, 0xE, 0xF, 0x0, 0x1, 0x2, 0x3, 0x4, 0x5, 0x6, 0x7, 0x8, 0x9}
+	for i, w := range want {
+		if got := nw.digit(id, i); got != w {
+			t.Fatalf("digit(%d) = %x, want %x", i, got, w)
+		}
+	}
+}
+
+func TestTableEntriesSharePrefix(t *testing.T) {
+	nw := mustBuild(t, Config{N: 256, Seed: 2})
+	cols := 1 << nw.cfg.BitsPerDigit
+	for u := 0; u < nw.N(); u++ {
+		for r := 0; r < nw.rows; r++ {
+			for c := 0; c < cols; c++ {
+				e := nw.table[u][r*cols+c]
+				if e < 0 {
+					continue
+				}
+				if got := nw.sharedDigits(nw.ids[u], nw.ids[e]); got != r {
+					t.Fatalf("entry (%d,%d,%d): shares %d digits, want %d", u, r, c, got, r)
+				}
+				if nw.digit(nw.ids[e], r) != c {
+					t.Fatalf("entry (%d,%d,%d) has wrong digit", u, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestLeafSetSize(t *testing.T) {
+	nw := mustBuild(t, Config{N: 64, LeafSet: 4, Seed: 3})
+	for u := 0; u < nw.N(); u++ {
+		if len(nw.leaves[u]) != 8 {
+			t.Fatalf("leaf set of %d has %d entries, want 8", u, len(nw.leaves[u]))
+		}
+	}
+	// Tiny network: leaf set clamps.
+	small := mustBuild(t, Config{N: 5, LeafSet: 8, Seed: 4})
+	for u := 0; u < small.N(); u++ {
+		if len(small.leaves[u]) != 4 {
+			t.Fatalf("clamped leaf set has %d entries, want 4", len(small.leaves[u]))
+		}
+	}
+}
+
+func TestOwner(t *testing.T) {
+	nw := mustBuild(t, Config{N: 128, Seed: 5})
+	for u := 0; u < nw.N(); u++ {
+		if nw.Owner(nw.ID(u)) != u {
+			t.Fatalf("Owner(id[%d]) wrong", u)
+		}
+	}
+}
+
+func TestCircularDist(t *testing.T) {
+	if circularDist(5, 10) != 5 || circularDist(10, 5) != 5 {
+		t.Error("plain distance wrong")
+	}
+	if circularDist(0, ^uint64(0)) != 1 {
+		t.Error("wrap distance wrong")
+	}
+	if circularDist(7, 7) != 0 {
+		t.Error("zero distance wrong")
+	}
+}
+
+func TestLookupFindsOwner(t *testing.T) {
+	nw := mustBuild(t, Config{N: 512, Seed: 6})
+	r := xrand.New(7)
+	for i := 0; i < 2000; i++ {
+		src := r.Intn(nw.N())
+		key := r.Uint64()
+		_, got := nw.Lookup(src, key)
+		if want := nw.Owner(key); got != want {
+			t.Fatalf("lookup(%d, %d) = %d, owner %d", src, key, got, want)
+		}
+	}
+}
+
+func TestLookupOwnID(t *testing.T) {
+	nw := mustBuild(t, Config{N: 64, Seed: 8})
+	hops, owner := nw.Lookup(9, nw.ID(9))
+	if hops != 0 || owner != 9 {
+		t.Errorf("lookup own id: hops=%d owner=%d", hops, owner)
+	}
+}
+
+func TestLookupHopsLogBase16(t *testing.T) {
+	const n = 2048
+	nw := mustBuild(t, Config{N: n, Seed: 9})
+	r := xrand.New(10)
+	var s metrics.Summary
+	for i := 0; i < 2000; i++ {
+		hops, _ := nw.Lookup(r.Intn(n), r.Uint64())
+		s.Add(float64(hops))
+	}
+	// Pastry fixes one base-16 digit per hop: ~log16 N ≈ 2.75 for 2048.
+	want := math.Log2(n) / 4
+	if s.Mean() > want+2 || s.Mean() < want/2 {
+		t.Errorf("mean hops %.2f, want about log16 N = %.2f", s.Mean(), want)
+	}
+}
+
+func TestTableSizeScales(t *testing.T) {
+	nw := mustBuild(t, Config{N: 1024, Seed: 11})
+	var s metrics.Summary
+	for u := 0; u < nw.N(); u++ {
+		s.Add(float64(nw.TableSize(u)))
+	}
+	// Pastry keeps ~log16(N)·15 table entries + leaf set: ~2.5·15+16 ≈ 53.
+	if s.Mean() < 30 || s.Mean() > 90 {
+		t.Errorf("mean table size %.1f outside plausible Pastry range", s.Mean())
+	}
+}
+
+func TestBitsPerDigitTradeoff(t *testing.T) {
+	// Smaller b → more hops, fewer table entries.
+	b2 := mustBuild(t, Config{N: 1024, BitsPerDigit: 2, Seed: 12})
+	b4 := mustBuild(t, Config{N: 1024, BitsPerDigit: 4, Seed: 12})
+	r := xrand.New(13)
+	var h2, h4, t2, t4 metrics.Summary
+	for i := 0; i < 1500; i++ {
+		src := r.Intn(1024)
+		key := r.Uint64()
+		hops2, _ := b2.Lookup(src, key)
+		hops4, _ := b4.Lookup(src, key)
+		h2.Add(float64(hops2))
+		h4.Add(float64(hops4))
+	}
+	for u := 0; u < 1024; u++ {
+		t2.Add(float64(b2.TableSize(u)))
+		t4.Add(float64(b4.TableSize(u)))
+	}
+	if h2.Mean() <= h4.Mean() {
+		t.Errorf("b=2 should take more hops than b=4: %.2f vs %.2f", h2.Mean(), h4.Mean())
+	}
+	if t2.Mean() >= t4.Mean() {
+		t.Errorf("b=2 should keep less state than b=4: %.1f vs %.1f", t2.Mean(), t4.Mean())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := mustBuild(t, Config{N: 128, Seed: 14})
+	b := mustBuild(t, Config{N: 128, Seed: 14})
+	for u := 0; u < a.N(); u++ {
+		if a.ID(u) != b.ID(u) || a.TableSize(u) != b.TableSize(u) {
+			t.Fatal("builds differ for equal seeds")
+		}
+	}
+}

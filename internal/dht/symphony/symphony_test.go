@@ -1,0 +1,165 @@
+package symphony
+
+import (
+	"math"
+	"testing"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/metrics"
+	"smallworld/internal/xrand"
+)
+
+func lookupStats(t *testing.T, nw *Network, queries int, seed uint64) metrics.Summary {
+	t.Helper()
+	r := xrand.New(seed)
+	var s metrics.Summary
+	for i := 0; i < queries; i++ {
+		src := r.Intn(nw.N())
+		target := nw.Key(r.Intn(nw.N()))
+		hops, owner := nw.Lookup(src, target)
+		if nw.Key(owner) != target {
+			t.Fatalf("lookup landed on %v, want %v", nw.Key(owner), target)
+		}
+		s.Add(float64(hops))
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{N: 1, K: 2}); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := Build(Config{N: 8, K: -1}); err == nil {
+		t.Error("negative K should fail")
+	}
+}
+
+func TestRingEdgesPresent(t *testing.T) {
+	nw, err := Build(Config{N: 16, K: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 16; u++ {
+		if !contains(nw.out[u], int32((u+1)%16)) || !contains(nw.out[u], int32((u+15)%16)) {
+			t.Fatalf("node %d lacks ring neighbours", u)
+		}
+	}
+}
+
+func TestTableSizeConstant(t *testing.T) {
+	nw, err := Build(Config{N: 1024, K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < nw.N(); u++ {
+		if ts := nw.TableSize(u); ts < 2 || ts > 2+4 {
+			t.Fatalf("node %d table size %d outside [2,6]", u, ts)
+		}
+	}
+}
+
+func TestLookupArrives(t *testing.T) {
+	nw, err := Build(Config{N: 512, K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupStats(t, nw, 500, 4)
+}
+
+func TestPolylogHops(t *testing.T) {
+	// Symphony routes in O((log² n)/k) expected hops.
+	nw, err := Build(Config{N: 2048, K: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lookupStats(t, nw, 2000, 6)
+	log2n := math.Log2(2048)
+	bound := log2n * log2n / 5 * 2 // generous constant
+	if s.Mean() > bound {
+		t.Errorf("mean hops %.1f exceeds 2·(log²n)/k = %.1f", s.Mean(), bound)
+	}
+}
+
+func TestMoreLinksFewerHops(t *testing.T) {
+	a, err := Build(Config{N: 2048, K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{N: 2048, K: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := lookupStats(t, a, 1500, 8).Mean()
+	hb := lookupStats(t, b, 1500, 8).Mean()
+	if hb >= ha {
+		t.Errorf("k=10 (%.1f hops) should beat k=2 (%.1f hops)", hb, ha)
+	}
+}
+
+func TestMercuryHandlesSkew(t *testing.T) {
+	skew := dist.NewPower(0.8)
+	classic, err := Build(Config{N: 2048, K: 6, Mode: Classic, Dist: skew, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mercury, err := Build(Config{N: 2048, K: 6, Mode: Mercury, Dist: skew, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := lookupStats(t, classic, 1500, 10).Mean()
+	hm := lookupStats(t, mercury, 1500, 10).Mean()
+	if hm >= hc {
+		t.Errorf("under skew, Mercury (%.1f hops) should beat classic Symphony (%.1f hops)", hm, hc)
+	}
+}
+
+func TestMercuryMatchesClassicOnUniform(t *testing.T) {
+	classic, err := Build(Config{N: 1024, K: 5, Mode: Classic, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mercury, err := Build(Config{N: 1024, K: 5, Mode: Mercury, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := lookupStats(t, classic, 1500, 12).Mean()
+	hm := lookupStats(t, mercury, 1500, 12).Mean()
+	if ratio := hm / hc; ratio > 1.3 || ratio < 0.7 {
+		t.Errorf("on uniform keys Mercury (%.1f) and Symphony (%.1f) should match", hm, hc)
+	}
+}
+
+func TestOwner(t *testing.T) {
+	nw, err := Build(Config{N: 64, K: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < nw.N(); u++ {
+		if nw.Owner(nw.Key(u)) != u {
+			t.Fatalf("Owner(key[%d]) = %d", u, nw.Owner(nw.Key(u)))
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Classic.String() != "symphony" || Mercury.String() != "mercury" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}
+
+func TestLookupFromEveryNode(t *testing.T) {
+	nw, err := Build(Config{N: 128, K: 3, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := nw.Key(64)
+	for src := 0; src < nw.N(); src++ {
+		_, owner := nw.Lookup(src, target)
+		if owner != 64 {
+			t.Fatalf("lookup from %d ended at %d", src, owner)
+		}
+	}
+}

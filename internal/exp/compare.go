@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"smallworld/internal/dht/can"
+	"smallworld/internal/dht/chord"
+	"smallworld/internal/dht/pastry"
+	"smallworld/internal/dht/pgrid"
+	"smallworld/internal/dht/symphony"
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/metrics"
+	"smallworld/internal/smallworld"
+	"smallworld/internal/xrand"
+)
+
+// E4DHTComparison validates Section 3.1's unification claim: the
+// logarithmic-style DHTs (Chord, Pastry, P-Grid) route in O(log N) hops
+// with O(log N) state, just like the small-world models — and P-Grid,
+// the only baseline that follows the key skew, pays for it with
+// super-logarithmic routing state, while Model 2 keeps both logarithmic.
+func E4DHTComparison(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E4",
+		Title:   "DHT comparison — hops and routing state at one size (log-style family)",
+		Columns: []string{"system", "keyspace", "meanHops", "p99", "meanTable", "maxTable"},
+	}
+	n := 4096
+	if scale == Quick {
+		n = 512
+	}
+	q := queriesFor(scale)
+	skew := dist.NewTruncExp(8)
+
+	// Model 1 (uniform ids).
+	{
+		cfg := smallworld.UniformConfig(n, seed)
+		cfg.Sampler = smallworld.Protocol
+		cfg.Topology = keyspace.Ring
+		nw, err := smallworld.Build(cfg)
+		if err == nil {
+			hops := routeHops(nw, seed+1, q)
+			ts := nw.Graph().DegreeStats()
+			t.AddRow("model1 (this paper)", "uniform", metrics.Mean(hops),
+				metrics.Percentile(hops, 0.99), ts.Mean(), ts.Max())
+		}
+	}
+	// Model 2 (skewed ids, mass rule).
+	{
+		cfg := smallworld.SkewedConfig(n, skew, seed)
+		cfg.Sampler = smallworld.Protocol
+		cfg.Topology = keyspace.Ring
+		nw, err := smallworld.Build(cfg)
+		if err == nil {
+			hops := routeHops(nw, seed+2, q)
+			ts := nw.Graph().DegreeStats()
+			t.AddRow("model2 (this paper)", skew.Name(), metrics.Mean(hops),
+				metrics.Percentile(hops, 0.99), ts.Mean(), ts.Max())
+		}
+	}
+	// Chord (hashing destroys key order; ids uniform by construction).
+	{
+		nw := chord.Build(n, seed+3)
+		rng := xrand.New(seed + 4)
+		hops := make([]float64, q)
+		var ts metrics.Summary
+		for i := range hops {
+			h, _ := nw.Lookup(rng.Intn(n), rng.Uint64())
+			hops[i] = float64(h)
+		}
+		for u := 0; u < n; u++ {
+			ts.Add(float64(nw.TableSize(u)))
+		}
+		t.AddRow("chord", "hashed-uniform", metrics.Mean(hops),
+			metrics.Percentile(hops, 0.99), ts.Mean(), ts.Max())
+	}
+	// Pastry b=4.
+	{
+		nw, err := pastry.Build(pastry.Config{N: n, Seed: seed + 5})
+		if err == nil {
+			rng := xrand.New(seed + 6)
+			hops := make([]float64, q)
+			var ts metrics.Summary
+			for i := range hops {
+				h, _ := nw.Lookup(rng.Intn(n), rng.Uint64())
+				hops[i] = float64(h)
+			}
+			for u := 0; u < n; u++ {
+				ts.Add(float64(nw.TableSize(u)))
+			}
+			t.AddRow("pastry b=4", "hashed-uniform", metrics.Mean(hops),
+				metrics.Percentile(hops, 0.99), ts.Mean(), ts.Max())
+		}
+	}
+	// P-Grid on uniform and on skewed keys.
+	for _, d := range []dist.Distribution{dist.Uniform{}, skew} {
+		nw, err := pgrid.Build(pgrid.Config{N: n, Dist: d, Seed: seed + 7})
+		if err != nil {
+			t.AddNote("pgrid build on %s failed: %v", d.Name(), err)
+			continue
+		}
+		rng := xrand.New(seed + 8)
+		hops := make([]float64, q)
+		var ts metrics.Summary
+		for i := range hops {
+			h, _ := nw.Lookup(rng.Intn(n), nw.Key(rng.Intn(n)))
+			hops[i] = float64(h)
+		}
+		for u := 0; u < n; u++ {
+			ts.Add(float64(nw.TableSize(u)))
+		}
+		t.AddRow("pgrid", d.Name(), metrics.Mean(hops),
+			metrics.Percentile(hops, 0.99), ts.Mean(), ts.Max())
+	}
+	// Symphony with k = log2 N for state parity.
+	{
+		nw, err := symphony.Build(symphony.Config{N: n, K: int(log2(n)), Seed: seed + 9})
+		if err == nil {
+			rng := xrand.New(seed + 10)
+			hops := make([]float64, q)
+			var ts metrics.Summary
+			for i := range hops {
+				h, _ := nw.Lookup(rng.Intn(n), nw.Key(rng.Intn(n)))
+				hops[i] = float64(h)
+			}
+			for u := 0; u < n; u++ {
+				ts.Add(float64(nw.TableSize(u)))
+			}
+			t.AddRow("symphony k=log2N", "uniform", metrics.Mean(hops),
+				metrics.Percentile(hops, 0.99), ts.Mean(), ts.Max())
+		}
+	}
+	t.AddNote("expectation: all log-style systems cluster near log2N=%.0f hops with ~log2N state;", log2(n))
+	t.AddNote("pgrid on skewed keys needs visibly larger max state; model2 keeps log-state under the same skew")
+	return t
+}
+
+// E12CANDegradation validates the introduction's CAN claim: zone
+// partitioning driven by a skewed key density unbalances the zones and
+// inflates routing hops, with no log-N guarantee — contrast with
+// Model 2 at the same sizes.
+func E12CANDegradation(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E12",
+		Title:   "CAN under skew — hops and zone balance vs Model 2",
+		Columns: []string{"system", "N", "meanHops", "p99", "zoneGini"},
+	}
+	sizes := []int{256, 1024}
+	if scale == Quick {
+		sizes = []int{256}
+	}
+	q := queriesFor(scale)
+	skew := dist.NewPower(0.85)
+	for _, n := range sizes {
+		for _, variant := range []struct {
+			name string
+			d    dist.Distribution
+		}{{"can-2d uniform", dist.Uniform{}}, {"can-2d skewed", skew}} {
+			nw, err := can.Build(can.Config{N: n, Dims: 2, Dist: variant.d, Seed: seed})
+			if err != nil {
+				t.AddNote("can build failed: %v", err)
+				continue
+			}
+			rng := xrand.New(seed + 20)
+			hops := make([]float64, q)
+			for i := range hops {
+				var p can.Point
+				p[0] = float64(dist.Sample(variant.d, rng))
+				p[1] = rng.Float64()
+				h, _ := nw.Lookup(rng.Intn(n), p)
+				hops[i] = float64(h)
+			}
+			t.AddRow(variant.name, n, metrics.Mean(hops),
+				metrics.Percentile(hops, 0.99), metrics.Gini(nw.Widths()))
+		}
+		cfg := smallworld.SkewedConfig(n, skew, seed)
+		cfg.Sampler = smallworld.Protocol
+		cfg.Topology = keyspace.Ring
+		if nw, err := smallworld.Build(cfg); err == nil {
+			hops := routeHops(nw, seed+21, q)
+			t.AddRow("model2 skewed", n, metrics.Mean(hops), metrics.Percentile(hops, 0.99), "-")
+		}
+	}
+	t.AddNote("CAN hops grow like sqrt(N) and worsen under skew; model2 stays at O(log N) regardless")
+	return t
+}
+
+// E14Mercury validates that Mercury's sampling heuristic is an instance
+// of the paper's framework: on skewed keys, rank-space harmonic links
+// (Mercury) match the mass-space rule (Model 2), while Symphony's
+// key-space rule collapses.
+func E14Mercury(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E14",
+		Title:   "Mercury as an instance of the framework — skewed keys, k = log2N links",
+		Columns: []string{"system", "meanHops", "p99"},
+	}
+	n := 2048
+	if scale == Quick {
+		n = 512
+	}
+	q := queriesFor(scale)
+	skew := dist.NewPower(0.8)
+	k := int(log2(n))
+
+	for _, mode := range []symphony.Mode{symphony.Classic, symphony.Mercury} {
+		nw, err := symphony.Build(symphony.Config{N: n, K: k, Mode: mode, Dist: skew, Seed: seed})
+		if err != nil {
+			t.AddNote("symphony build failed: %v", err)
+			continue
+		}
+		rng := xrand.New(seed + 30)
+		hops := make([]float64, q)
+		for i := range hops {
+			h, _ := nw.Lookup(rng.Intn(n), nw.Key(rng.Intn(n)))
+			hops[i] = float64(h)
+		}
+		t.AddRow(mode.String()+" (skewed keys)", metrics.Mean(hops), metrics.Percentile(hops, 0.99))
+	}
+	cfg := smallworld.SkewedConfig(n, skew, seed)
+	cfg.Sampler = smallworld.Protocol
+	cfg.Topology = keyspace.Ring
+	if nw, err := smallworld.Build(cfg); err == nil {
+		hops := routeHops(nw, seed+31, q)
+		t.AddRow("model2 (skewed keys)", metrics.Mean(hops), metrics.Percentile(hops, 0.99))
+	}
+	t.AddNote("mercury ≈ model2 (both adapt to mass); classic symphony degrades on the same keys")
+	return t
+}

@@ -1,0 +1,375 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell back into a float.
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d); table:\n%s", tab.ID, row, col, tab.String())
+	}
+	s := strings.TrimSuffix(tab.Rows[row][col], "x")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := Table{ID: "T", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	tab.AddNote("note %d", 7)
+	s := tab.String()
+	for _, want := range []string{"T — demo", "a", "bb", "2.50", "note: note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2.50\n") {
+		t.Errorf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestE1SlopeWithinTheorem(t *testing.T) {
+	tab := E1UniformScaling(Quick, 1)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("E1 produced %d rows", len(tab.Rows))
+	}
+	// mean/log2N must stay bounded by the theorem's 1/c for every size.
+	for i := range tab.Rows {
+		if ratio := cell(t, tab, i, 5); ratio > 1/theoremC {
+			t.Errorf("row %d: mean/log2N = %.2f exceeds 1/c = %.2f", i, ratio, 1/theoremC)
+		}
+	}
+}
+
+func TestE2SkewIndependence(t *testing.T) {
+	tab := E2SkewedScaling(Quick, 2)
+	// Every mean/log2N (col 4) within a factor 1.6 of the uniform rows.
+	var uniform []float64
+	for i, row := range tab.Rows {
+		if row[0] == "uniform" {
+			uniform = append(uniform, cell(t, tab, i, 4))
+		}
+	}
+	if len(uniform) == 0 {
+		t.Fatal("no uniform rows")
+	}
+	for i, row := range tab.Rows {
+		if row[0] == "uniform" {
+			continue
+		}
+		r := cell(t, tab, i, 4)
+		if r > 1.6*uniform[0] {
+			t.Errorf("%s deviates from uniform: %.2f vs %.2f", row[0], r, uniform[0])
+		}
+	}
+}
+
+func TestE3Degradation(t *testing.T) {
+	tab := E3ObliviousBaseline(Quick, 3)
+	// The last power-law row (0.85) must show meaningful degradation and
+	// the uniform row parity.
+	first := cell(t, tab, 0, 4) // uniform: geom == mass rule
+	if first > 1.3 {
+		t.Errorf("uniform row should show parity, got %.2fx", first)
+	}
+	worst := cell(t, tab, 4, 4) // power(0.85)
+	if worst < 1.2 {
+		t.Errorf("power(0.85) degradation %.2fx, expected > 1.2x", worst)
+	}
+}
+
+func TestE4AllSystemsLogarithmic(t *testing.T) {
+	tab := E4DHTComparison(Quick, 4)
+	if len(tab.Rows) < 6 {
+		t.Fatalf("E4 has %d rows:\n%s", len(tab.Rows), tab.String())
+	}
+	// All mean hops under 3·log2(512) = 27.
+	for i, row := range tab.Rows {
+		if h := cell(t, tab, i, 2); h > 27 {
+			t.Errorf("%s: %.1f hops, too many", row[0], h)
+		}
+	}
+	// P-Grid on skewed keys must keep more state than on uniform keys:
+	// the mean trie depth shifts by ≈ E[log2 f] (+1.56 bits for exp(8)).
+	var pgridUniformMean, pgridSkewMean float64
+	for i, row := range tab.Rows {
+		if row[0] == "pgrid" && row[1] == "uniform" {
+			pgridUniformMean = cell(t, tab, i, 4)
+		}
+		if row[0] == "pgrid" && row[1] != "uniform" {
+			pgridSkewMean = cell(t, tab, i, 4)
+		}
+	}
+	if pgridSkewMean < pgridUniformMean+0.8 {
+		t.Errorf("pgrid skewed mean state %.2f should exceed uniform %.2f by ≈1.5",
+			pgridSkewMean, pgridUniformMean)
+	}
+}
+
+func TestE5TradeoffMonotone(t *testing.T) {
+	tab := E5OutdegreeTradeoff(Quick, 5)
+	prev := 1e18
+	for i := range tab.Rows {
+		h := cell(t, tab, i, 1)
+		if h > prev*1.1 { // allow small noise, demand overall decrease
+			t.Errorf("hops should fall with k: row %d has %.1f after %.1f", i, h, prev)
+		}
+		if h < prev {
+			prev = h
+		}
+	}
+	// k=1 vs k=max must differ substantially.
+	if first, last := cell(t, tab, 0, 1), cell(t, tab, len(tab.Rows)-1, 1); last > first/2 {
+		t.Errorf("outdegree sweep too flat: %.1f -> %.1f", first, last)
+	}
+}
+
+func TestE6RobustnessShape(t *testing.T) {
+	tab := E6Robustness(Quick, 6)
+	// Hops rise with failure fraction; arrival stays 100%.
+	prev := 0.0
+	for i := range tab.Rows {
+		h := cell(t, tab, i, 1)
+		if h < prev*0.9 {
+			t.Errorf("hops should not fall as failures rise: row %d", i)
+		}
+		prev = h
+		if arrived := cell(t, tab, i, 4); arrived < 100 {
+			t.Errorf("row %d: only %.1f%% arrived", i, arrived)
+		}
+	}
+}
+
+func TestE7BalanceOrdering(t *testing.T) {
+	tab := E7StorageBalance(Quick, 7)
+	// Rows come in placement triples per distribution: uniform, adapted,
+	// ideal. Gini must strictly improve within each triple.
+	for base := 0; base+2 < len(tab.Rows); base += 3 {
+		gU := cell(t, tab, base, 4)
+		gA := cell(t, tab, base+1, 4)
+		gI := cell(t, tab, base+2, 4)
+		if !(gI < gA && gA < gU) {
+			t.Errorf("Gini ordering wrong at rows %d..%d: %v %v %v", base, base+2, gU, gA, gI)
+		}
+	}
+}
+
+func TestE8NearUniform(t *testing.T) {
+	tab := E8PartitionOccupancy(Quick, 8)
+	if len(tab.Rows) < 8 {
+		t.Fatalf("E8 rows: %d", len(tab.Rows))
+	}
+	// Interior partitions of both models within 2x of the chord fraction.
+	for i := 2; i < len(tab.Rows)-1; i++ {
+		chordFrac := cell(t, tab, i, 3)
+		for col := 1; col <= 2; col++ {
+			f := cell(t, tab, i, col)
+			if f > 2.2*chordFrac || f < chordFrac/2.2 {
+				t.Errorf("partition %d col %d: fraction %.4f far from uniform %.4f", i+1, col, f, chordFrac)
+			}
+		}
+	}
+}
+
+func TestE9Equivalence(t *testing.T) {
+	tab := E9NormalizationEquivalence(Quick, 9)
+	for i, row := range tab.Rows {
+		agreement := cell(t, tab, i, 2)
+		if row[1] == "exact" && agreement < 99.999 {
+			t.Errorf("%s exact agreement %.2f%%, want 100%%", row[0], agreement)
+		}
+		if row[1] == "protocol" && agreement < 75 {
+			t.Errorf("%s protocol agreement %.2f%%, want high", row[0], agreement)
+		}
+		hG, hGP := cell(t, tab, i, 3), cell(t, tab, i, 4)
+		if hG > 1.25*hGP || hGP > 1.25*hG {
+			t.Errorf("%s/%s: routing cost mismatch %.2f vs %.2f", row[0], row[1], hG, hGP)
+		}
+	}
+}
+
+func TestE10JoinCost(t *testing.T) {
+	tab := E10JoinProtocol(Quick, 10)
+	if len(tab.Rows) == 0 {
+		t.Fatalf("E10 empty:\n%s", tab.String())
+	}
+	for i := range tab.Rows {
+		joinMsgs := cell(t, tab, i, 2)
+		bound := cell(t, tab, i, 3) // log2²N
+		if joinMsgs > 4*bound {
+			t.Errorf("join cost %.0f far above log²N = %.0f", joinMsgs, bound)
+		}
+		grown, offline := cell(t, tab, i, 4), cell(t, tab, i, 5)
+		if grown > 1.5*offline {
+			t.Errorf("organic overlay routes %.2f vs offline %.2f", grown, offline)
+		}
+	}
+}
+
+func TestE11Converges(t *testing.T) {
+	tab := E11EstimatedDensity(Quick, 11)
+	first := cell(t, tab, 0, 1)
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	if last > first {
+		t.Errorf("refinement did not improve routing: %.2f -> %.2f", first, last)
+	}
+	if ratio := cell(t, tab, len(tab.Rows)-1, 3); ratio > 1.7 {
+		t.Errorf("final vsOracle %.2f, want near 1", ratio)
+	}
+}
+
+func TestE12CANWorseThanModel2(t *testing.T) {
+	tab := E12CANDegradation(Quick, 12)
+	var canSkew, model2 float64
+	for i, row := range tab.Rows {
+		if row[0] == "can-2d skewed" {
+			canSkew = cell(t, tab, i, 2)
+		}
+		if row[0] == "model2 skewed" {
+			model2 = cell(t, tab, i, 2)
+		}
+	}
+	if canSkew <= model2 {
+		t.Errorf("CAN under skew (%.1f hops) should lose to model2 (%.1f)", canSkew, model2)
+	}
+}
+
+func TestE13RespectsBounds(t *testing.T) {
+	tab := E13ProofConstants(Quick, 13)
+	// Interior rows: hops/route ≤ (1-c)/c and advance prob ≥ c.
+	bound := (1 - theoremC) / theoremC
+	for i := 1; i < len(tab.Rows)-1; i++ {
+		if h := cell(t, tab, i, 1); h > bound {
+			t.Errorf("partition %d: %.2f hops/route above bound %.2f", i+1, h, bound)
+		}
+		if tab.Rows[i][2] == "NaN" {
+			continue
+		}
+		if p := cell(t, tab, i, 2); p < theoremC {
+			t.Errorf("partition %d: advance prob %.3f below c = %.3f", i+1, p, theoremC)
+		}
+	}
+}
+
+func TestE14MercuryInstance(t *testing.T) {
+	tab := E14Mercury(Quick, 14)
+	var classic, mercury, model2 float64
+	for i, row := range tab.Rows {
+		switch {
+		case strings.HasPrefix(row[0], "symphony"):
+			classic = cell(t, tab, i, 1)
+		case strings.HasPrefix(row[0], "mercury"):
+			mercury = cell(t, tab, i, 1)
+		case strings.HasPrefix(row[0], "model2"):
+			model2 = cell(t, tab, i, 1)
+		}
+	}
+	if mercury >= classic {
+		t.Errorf("mercury %.1f should beat classic symphony %.1f under skew", mercury, classic)
+	}
+	if mercury > 2.5*model2 {
+		t.Errorf("mercury %.1f should be in model2's league (%.1f)", mercury, model2)
+	}
+}
+
+func TestE15HarmonicOptimal(t *testing.T) {
+	tab := E15KleinbergExponent(Quick, 15)
+	for i := range tab.Rows {
+		r0 := cell(t, tab, i, 1)
+		r1 := cell(t, tab, i, 3)
+		r2 := cell(t, tab, i, 5)
+		if r1 >= r0 || r1 >= r2 {
+			t.Errorf("row %d: r=1 (%.1f) must beat r→0 (%.1f) and r=2 (%.1f)", i, r1, r0, r2)
+		}
+	}
+}
+
+func TestE16SmallWorldButNotRoutable(t *testing.T) {
+	tab := E16WattsStrogatz(Quick, 16)
+	// Locate the p=0.05 row: clustering within 40% of lattice (row 0),
+	// path far below lattice, greedy/bfs clearly above 2.
+	cLattice := cell(t, tab, 0, 1)
+	pathLattice := cell(t, tab, 0, 2)
+	var found bool
+	for i, row := range tab.Rows {
+		if row[0] != "0.05" {
+			continue
+		}
+		found = true
+		if c := cell(t, tab, i, 1); c < 0.6*cLattice {
+			t.Errorf("p=0.05 clustering %.3f collapsed below lattice %.3f", c, cLattice)
+		}
+		if p := cell(t, tab, i, 2); p > 0.5*pathLattice {
+			t.Errorf("p=0.05 bfs path %.1f did not collapse from lattice %.1f", p, pathLattice)
+		}
+		if r := cell(t, tab, i, 4); r < 2 {
+			t.Errorf("p=0.05 greedy/bfs = %.2f, expected clearly inefficient (>2)", r)
+		}
+	}
+	if !found {
+		t.Fatalf("no p=0.05 row:\n%s", tab.String())
+	}
+}
+
+func TestE17GrowthSeparation(t *testing.T) {
+	tab := E17KleinbergLattice(Quick, 17)
+	if len(tab.Rows) < 2 {
+		t.Fatalf("E17 rows: %d", len(tab.Rows))
+	}
+	first, last := 0, len(tab.Rows)-1
+	growth := func(col int) float64 { return cell(t, tab, last, col) / cell(t, tab, first, col) }
+	g0, g2, g3 := growth(1), growth(3), growth(4)
+	if g2 >= g0 || g2 >= g3 {
+		t.Errorf("r=2 growth %.2fx should undercut r=0 (%.2fx) and r=3 (%.2fx)", g2, g0, g3)
+	}
+}
+
+func TestE18BacktrackingWins(t *testing.T) {
+	tab := E18NodeFailures(Quick, 18)
+	for i, row := range tab.Rows {
+		gOK, bOK := cell(t, tab, i, 1), cell(t, tab, i, 2)
+		if bOK < gOK {
+			t.Errorf("row %s: backtracking delivery %.1f%% below greedy %.1f%%", row[0], bOK, gOK)
+		}
+		if bOK < 99 {
+			t.Errorf("row %s: backtracking delivery %.1f%%, want ~100%%", row[0], bOK)
+		}
+	}
+	// At the highest failure fraction greedy must be visibly degraded.
+	if g := cell(t, tab, len(tab.Rows)-1, 1); g > 95 {
+		t.Errorf("greedy at 50%% failures delivers %.1f%%, expected visible decay", g)
+	}
+}
+
+func TestRunnersComplete(t *testing.T) {
+	rs := Runners()
+	if len(rs) != 18 {
+		t.Fatalf("expected 18 runners, got %d", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if seen[r.ID] {
+			t.Errorf("duplicate runner %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Errorf("runner %s incomplete", r.ID)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"smallworld/internal/keyspace"
+	"smallworld/internal/smallworld"
+	"smallworld/internal/xrand"
+)
+
+// routeHops routes `queries` random node-to-node requests in parallel and
+// returns the per-query hop counts. Queries that fail to arrive are
+// counted as the network size (they cannot occur with intact neighbour
+// edges; the sentinel would make a regression obvious in every table).
+func routeHops(nw *smallworld.Network, seed uint64, queries int) []float64 {
+	pairs := make([][2]int, queries)
+	rng := xrand.New(seed)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(nw.N()), rng.Intn(nw.N())}
+	}
+	hops := make([]float64, queries)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (queries + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > queries {
+			hi = queries
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				rt := nw.RouteToNode(pairs[i][0], pairs[i][1])
+				if rt.Arrived {
+					hops[i] = float64(rt.Hops())
+				} else {
+					hops[i] = float64(nw.N())
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return hops
+}
+
+// routeHopsToKeys routes each query to an arbitrary key target.
+func routeHopsToKeys(nw *smallworld.Network, seed uint64, targets []keyspace.Key) []float64 {
+	rng := xrand.New(seed)
+	srcs := make([]int, len(targets))
+	for i := range srcs {
+		srcs[i] = rng.Intn(nw.N())
+	}
+	hops := make([]float64, len(targets))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(targets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				rt := nw.RouteGreedy(srcs[i], targets[i])
+				if rt.Arrived {
+					hops[i] = float64(rt.Hops())
+				} else {
+					hops[i] = float64(nw.N())
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return hops
+}
+
+// log2 is a float shorthand.
+func log2(n int) float64 { return math.Log2(float64(n)) }
+
+// sizesFor returns the network-size sweep for a scale.
+func sizesFor(scale Scale) []int {
+	if scale == Quick {
+		return []int{256, 512, 1024}
+	}
+	return []int{256, 512, 1024, 2048, 4096, 8192, 16384}
+}
+
+// queriesFor returns the query count per configuration for a scale.
+func queriesFor(scale Scale) int {
+	if scale == Quick {
+		return 400
+	}
+	return 2500
+}

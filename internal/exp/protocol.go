@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/metrics"
+	"smallworld/internal/overlay"
+	"smallworld/internal/smallworld"
+)
+
+// E10JoinProtocol validates the Section 4.2 construction protocol in its
+// oracle form: peers join a live overlay by routing to themselves and
+// querying for sampled link targets. The join cost must stay polylog and
+// the organically grown overlay must route as well as one built offline
+// by the oracle graph constructor.
+func E10JoinProtocol(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E10",
+		Title:   "Join protocol — message cost and routing quality of organic growth",
+		Columns: []string{"phase", "size", "meanJoinMsgs", "log2²N", "hops(grown)", "hops(offline)"},
+	}
+	start, end := 256, 1024
+	if scale == Quick {
+		start, end = 128, 256
+	}
+	d := dist.NewPower(0.7)
+	nw := overlay.New(overlay.Config{Dist: d, Oracle: true, Seed: seed})
+	if err := nw.Bootstrap(start); err != nil {
+		t.AddNote("bootstrap failed: %v", err)
+		return t
+	}
+	q := queriesFor(scale)
+	for size := start; size < end; size *= 2 {
+		var joinCost metrics.Summary
+		for nw.Size() < size*2 {
+			_, stats, err := nw.Join()
+			if err != nil {
+				t.AddNote("join failed: %v", err)
+				return t
+			}
+			joinCost.Add(float64(stats.Total()))
+		}
+		grown := metrics.Mean(nw.HopStats(seed+70, q))
+		cfg := smallworld.SkewedConfig(nw.Size(), d, seed+71)
+		cfg.Sampler = smallworld.Protocol
+		cfg.Topology = keyspace.Ring
+		offlineHops := 0.0
+		if offline, err := smallworld.Build(cfg); err == nil {
+			offlineHops = metrics.Mean(routeHops(offline, seed+72, q))
+		}
+		t.AddRow(
+			"grow", nw.Size(), joinCost.Mean(), log2(nw.Size())*log2(nw.Size()),
+			grown, offlineHops)
+	}
+	t.AddNote("join cost ≈ locate O(logN) + logN link queries × O(logN) each = O(log²N)")
+	return t
+}
+
+// E11EstimatedDensity validates the paper's iterative-refinement
+// proposal for the realistic case where peers do not know f: starting
+// from a skew-oblivious uniform assumption, peers estimate f from random
+// walk samples and re-draw their links each round; routing converges
+// toward the oracle overlay's cost.
+func E11EstimatedDensity(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E11",
+		Title:   "Iterative refinement with estimated f — hops vs refinement round",
+		Columns: []string{"round", "meanHops", "p99", "vsOracle"},
+	}
+	n := 512
+	if scale == Quick {
+		n = 256
+	}
+	d := dist.NewTruncExp(6)
+	q := queriesFor(scale)
+
+	oracle := overlay.New(overlay.Config{Dist: d, Oracle: true, Seed: seed})
+	if err := oracle.Bootstrap(n); err != nil {
+		t.AddNote("oracle bootstrap failed: %v", err)
+		return t
+	}
+	oracleHops := metrics.Mean(oracle.HopStats(seed+80, q))
+
+	est := overlay.New(overlay.Config{Dist: d, Oracle: false, EstimateBins: 24, Seed: seed})
+	if err := est.Bootstrap(n); err != nil {
+		t.AddNote("bootstrap failed: %v", err)
+		return t
+	}
+	rounds := 5
+	if scale == Quick {
+		rounds = 3
+	}
+	for round := 0; round <= rounds; round++ {
+		if round > 0 {
+			est.Refine(48, 6)
+		}
+		hops := est.HopStats(seed+81, q)
+		mean := metrics.Mean(hops)
+		t.AddRow(round, mean, metrics.Percentile(hops, 0.99), mean/oracleHops)
+	}
+	t.AddNote("oracle reference: %.2f hops; vsOracle should fall toward ≈ 1 as rounds proceed", oracleHops)
+	return t
+}

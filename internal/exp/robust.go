@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"math"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/metrics"
+	"smallworld/internal/smallworld"
+	"smallworld/internal/xrand"
+)
+
+// E6Robustness validates the Section 3.1 robustness remark: even after
+// losing a large fraction of long-range links, routing stays polylog as
+// long as the neighbouring edges survive — cost degrades gracefully, and
+// every query still arrives.
+func E6Robustness(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E6",
+		Title:   "Robustness — hops after failing a fraction of long-range links",
+		Columns: []string{"failFrac", "meanHops", "p99", "mean/log2N", "arrived%"},
+	}
+	n := 4096
+	if scale == Quick {
+		n = 1024
+	}
+	cfg := smallworld.UniformConfig(n, seed)
+	cfg.Sampler = smallworld.Protocol
+	cfg.Topology = keyspace.Ring
+	nw, err := smallworld.Build(cfg)
+	if err != nil {
+		t.AddNote("build failed: %v", err)
+		return t
+	}
+	q := queriesFor(scale)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		derived := nw.WithFailedLinks(xrand.New(seed+uint64(frac*100)), frac)
+		hops := routeHops(derived, seed+40, q)
+		arrived := 0
+		for _, h := range hops {
+			if h < float64(n) {
+				arrived++
+			}
+		}
+		mean := metrics.Mean(hops)
+		t.AddRow(frac, mean, metrics.Percentile(hops, 0.99), mean/log2(n),
+			100*float64(arrived)/float64(len(hops)))
+	}
+	t.AddNote("frac=1 leaves only the ring: hops ≈ N/4 = %d (the worst case the paper's remark admits)", n/4)
+	return t
+}
+
+// E8PartitionOccupancy validates the Section 3.1 "probabilistic
+// partitioning" observation: harmonic long-range links fall with
+// near-equal frequency into each doubling partition of the (normalised)
+// key space, which is what lets the model subsume Chord-style tables
+// that deterministically keep one entry per partition.
+func E8PartitionOccupancy(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E8",
+		Title:   "Partition occupancy — long-range links per doubling partition",
+		Columns: []string{"partition", "model1-uniform", "model2-skewed", "chord-fingers"},
+	}
+	n := 4096
+	if scale == Quick {
+		n = 1024
+	}
+	l := int(math.Ceil(math.Log2(float64(n))))
+
+	m1cfg := smallworld.UniformConfig(n, seed)
+	m1cfg.Sampler = smallworld.Exact
+	m1cfg.Topology = keyspace.Ring
+	m1, err := smallworld.Build(m1cfg)
+	if err != nil {
+		t.AddNote("model1 build failed: %v", err)
+		return t
+	}
+	m2cfg := smallworld.SkewedConfig(n, dist.NewPower(0.8), seed)
+	m2cfg.Sampler = smallworld.Exact
+	m2cfg.Topology = keyspace.Ring
+	m2, err := smallworld.Build(m2cfg)
+	if err != nil {
+		t.AddNote("model2 build failed: %v", err)
+		return t
+	}
+	c1 := m1.LinkPartitionCounts()
+	c2 := m2.LinkPartitionCounts()
+	// Chord fingers on a 2^l ring fall deterministically one per
+	// partition (the successor of each doubling offset): fraction 1/l.
+	for j := 0; j < l; j++ {
+		t.AddRow(j+1, frac(c1, j), frac(c2, j), 1/float64(l))
+	}
+	mid1, mid2 := midCV(c1), midCV(c2)
+	t.AddNote("CV over interior partitions: model1 %.3f, model2 %.3f (near-uniform; chord is exactly uniform)", mid1, mid2)
+	t.AddNote("chi² vs uniform: model1 %.1f, model2 %.1f over %d partitions",
+		metrics.ChiSquareUniform(c1[1:l-1]), metrics.ChiSquareUniform(c2[1:l-1]), l-2)
+	return t
+}
+
+func frac(counts []int, j int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(counts[j]) / float64(total)
+}
+
+func midCV(counts []int) float64 {
+	var s metrics.Summary
+	for _, c := range counts[1 : len(counts)-1] {
+		s.Add(float64(c))
+	}
+	return s.CV()
+}
+
+// E13ProofConstants measures the two quantities Theorem 1's proof
+// bounds: Pnext, the per-hop probability of advancing at least one
+// partition toward the target (bounded below by c ≈ 0.382), and EXj,
+// the expected hops spent per partition (bounded above by (1-c)/c ≈
+// 1.618). The measured values must respect — and will comfortably beat —
+// the pessimistic bounds.
+func E13ProofConstants(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E13",
+		Title:   "Theorem 1 proof constants — measured Pnext and EXj vs bounds",
+		Columns: []string{"partition", "hops/route", "advanceP"},
+	}
+	n := 4096
+	if scale == Quick {
+		n = 1024
+	}
+	cfg := smallworld.UniformConfig(n, seed)
+	cfg.Sampler = smallworld.Exact
+	cfg.Topology = keyspace.Ring
+	nw, err := smallworld.Build(cfg)
+	if err != nil {
+		t.AddNote("build failed: %v", err)
+		return t
+	}
+	l := nw.Partitions()
+	q := queriesFor(scale)
+	rng := xrand.New(seed + 50)
+	hopsPerPartition := make([]int, l)
+	advances := make([]int, l) // hops from partition j that left j toward the target
+	stays := make([]int, l)
+	routes := 0
+	for i := 0; i < q; i++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		rt := nw.RouteToNode(src, dst)
+		if !rt.Arrived {
+			continue
+		}
+		routes++
+		target := float64(nw.Key(dst))
+		trace := nw.PartitionTrace(rt, target)
+		for j, c := range trace {
+			hopsPerPartition[j] += c
+		}
+		// Per-hop advancement statistics.
+		targetNorm := target // uniform: norm = key
+		prev := -1
+		for _, u := range rt.Path {
+			m := math.Abs(nw.Norm(u) - targetNorm)
+			if m > 0.5 {
+				m = 1 - m
+			}
+			j := nw.PartitionOf(m)
+			if prev > 0 && j < prev {
+				advances[prev-1]++
+			} else if prev > 0 && j >= prev {
+				stays[prev-1]++
+			}
+			prev = j
+		}
+	}
+	var worstAdvance float64 = 1
+	for j := 0; j < l; j++ {
+		total := advances[j] + stays[j]
+		adv := math.NaN()
+		if total > 0 {
+			adv = float64(advances[j]) / float64(total)
+			if j >= 1 && j < l-1 && adv < worstAdvance {
+				worstAdvance = adv
+			}
+		}
+		t.AddRow(j+1, float64(hopsPerPartition[j])/float64(routes), adv)
+	}
+	t.AddNote("theory: Pnext ≥ c = %.3f, EXj ≤ (1-c)/c = %.3f", theoremC, (1-theoremC)/theoremC)
+	t.AddNote("measured worst interior advance probability: %.3f", worstAdvance)
+	return t
+}

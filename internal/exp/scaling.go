@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"fmt"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/metrics"
+	"smallworld/internal/smallworld"
+)
+
+// theoremC is the constant c = 1 - e^(-1/(3·ln2)) from the Theorem 1
+// proof: the lower bound on the probability of advancing a partition per
+// hop, giving the pessimistic hop bound (1/c)·log2 N + 1.
+const theoremC = 0.38184953542436277
+
+// E1UniformScaling validates Theorem 1: greedy routing on the uniform
+// model with log2 N long-range links costs O(log2 N) expected hops. The
+// table sweeps N; the note reports the OLS fit of mean hops against
+// log2 N, whose slope must be a constant well under the proof's 1/c.
+func E1UniformScaling(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E1",
+		Title:   "Theorem 1 — uniform model, hops vs N (expect mean ≈ a·log2N, a < 1/c ≈ 2.62)",
+		Columns: []string{"N", "log2N", "meanHops", "p95", "p99", "mean/log2N"},
+	}
+	var xs, ys []float64
+	for _, topo := range []keyspace.Topology{keyspace.Ring} {
+		for i, n := range sizesFor(scale) {
+			cfg := smallworld.UniformConfig(n, seed+uint64(i))
+			cfg.Topology = topo
+			cfg.Sampler = smallworld.Protocol
+			nw, err := smallworld.Build(cfg)
+			if err != nil {
+				t.AddNote("build failed for N=%d: %v", n, err)
+				continue
+			}
+			hops := routeHops(nw, seed+100+uint64(i), queriesFor(scale))
+			mean := metrics.Mean(hops)
+			t.AddRow(n, log2(n), mean,
+				metrics.Percentile(hops, 0.95), metrics.Percentile(hops, 0.99),
+				mean/log2(n))
+			xs = append(xs, log2(n))
+			ys = append(ys, mean)
+		}
+	}
+	fit := metrics.FitLine(xs, ys)
+	t.AddNote("fit: meanHops = %.3f·log2N %+.3f (R²=%.4f); theorem bound slope 1/c = %.2f",
+		fit.Slope, fit.Intercept, fit.R2, 1/theoremC)
+	return t
+}
+
+// skewFamilies returns the skewed densities used across experiments.
+func skewFamilies() []dist.Distribution {
+	return []dist.Distribution{
+		dist.NewPower(0.5),
+		dist.NewPower(0.8),
+		dist.NewTruncExp(8),
+		dist.NewMixture(
+			[]dist.Distribution{dist.NewTruncNormal(0.2, 0.04), dist.NewTruncNormal(0.7, 0.1)},
+			[]float64{2, 1},
+		),
+		dist.NewZipf(256, 1.0),
+	}
+}
+
+// E2SkewedScaling validates Theorem 2: the skew-adapted model routes in
+// O(log2 N) hops independent of the identifier distribution. Every row
+// is a (density, N) pair; the mean/log2N column must stay flat across
+// both axes and match E1's uniform constant.
+func E2SkewedScaling(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E2",
+		Title:   "Theorem 2 — skew-adapted model, hops vs N and skew (expect parity with E1)",
+		Columns: []string{"distribution", "N", "meanHops", "p99", "mean/log2N"},
+	}
+	var worst float64
+	for _, n := range sizesFor(scale) {
+		uniformCfg := smallworld.UniformConfig(n, seed)
+		uniformCfg.Sampler = smallworld.Protocol
+		uniformCfg.Topology = keyspace.Ring
+		base, err := smallworld.Build(uniformCfg)
+		if err != nil {
+			t.AddNote("uniform build failed: %v", err)
+			continue
+		}
+		baseMean := metrics.Mean(routeHops(base, seed+7, queriesFor(scale)))
+		t.AddRow("uniform", n, baseMean, metrics.Percentile(routeHops(base, seed+8, queriesFor(scale)), 0.99), baseMean/log2(n))
+		for di, d := range skewFamilies() {
+			cfg := smallworld.SkewedConfig(n, d, seed+uint64(di))
+			cfg.Sampler = smallworld.Protocol
+			cfg.Topology = keyspace.Ring
+			nw, err := smallworld.Build(cfg)
+			if err != nil {
+				t.AddNote("build failed for %s N=%d: %v", d.Name(), n, err)
+				continue
+			}
+			hops := routeHops(nw, seed+200+uint64(di), queriesFor(scale))
+			mean := metrics.Mean(hops)
+			t.AddRow(d.Name(), n, mean, metrics.Percentile(hops, 0.99), mean/log2(n))
+			if r := mean / baseMean; r > worst {
+				worst = r
+			}
+		}
+	}
+	t.AddNote("worst skew/uniform mean-hop ratio: %.3f (theorem predicts ≈ 1.0)", worst)
+	return t
+}
+
+// E3ObliviousBaseline quantifies why Model 2 matters: constructing links
+// with the skew-oblivious geometric rule (Model 1's criterion) on skewed
+// identifiers degrades routing, and the degradation grows with skew,
+// while the mass rule stays flat.
+func E3ObliviousBaseline(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E3",
+		Title:   "Skew-oblivious baseline — geometric vs mass link rule on skewed keys",
+		Columns: []string{"distribution", "N", "massHops", "geomHops", "degradation"},
+	}
+	n := 2048
+	if scale == Quick {
+		n = 1024
+	}
+	dists := []dist.Distribution{
+		dist.Uniform{},
+		dist.NewPower(0.3),
+		dist.NewPower(0.5),
+		dist.NewPower(0.7),
+		dist.NewPower(0.85),
+		dist.NewTruncExp(10),
+	}
+	for di, d := range dists {
+		aware, err := smallworld.Build(func() smallworld.Config {
+			c := smallworld.SkewedConfig(n, d, seed+uint64(di))
+			c.Sampler = smallworld.Protocol
+			c.Topology = keyspace.Ring
+			return c
+		}())
+		if err != nil {
+			t.AddNote("aware build failed: %v", err)
+			continue
+		}
+		oblivious, err := smallworld.Build(func() smallworld.Config {
+			c := smallworld.SkewedConfig(n, d, seed+uint64(di))
+			c.Measure = smallworld.Geometric
+			c.Sampler = smallworld.Protocol
+			c.Topology = keyspace.Ring
+			return c
+		}())
+		if err != nil {
+			t.AddNote("oblivious build failed: %v", err)
+			continue
+		}
+		q := queriesFor(scale)
+		hm := metrics.Mean(routeHops(aware, seed+300, q))
+		hg := metrics.Mean(routeHops(oblivious, seed+300, q))
+		t.AddRow(d.Name(), n, hm, hg, fmt.Sprintf("%.2fx", hg/hm))
+	}
+	return t
+}
+
+// E5OutdegreeTradeoff validates the Section 3.1 observation (made
+// concrete by Symphony) that routing cost scales as O((log² N)/k) when
+// each node keeps k long-range links, letting designers trade table size
+// against search cost from constant through logarithmic outdegree.
+func E5OutdegreeTradeoff(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E5",
+		Title:   "Outdegree trade-off — hops vs k long links (expect ≈ c·(log²N)/k + ring term)",
+		Columns: []string{"k", "meanHops", "p99", "hops·k", "k/log2N"},
+	}
+	n := 4096
+	if scale == Quick {
+		n = 1024
+	}
+	l := int(log2(n))
+	ks := []int{1, 2, 4, 8, l, 2 * l}
+	for _, k := range ks {
+		cfg := smallworld.UniformConfig(n, seed+uint64(k))
+		cfg.Degree = smallworld.ConstDegree(k)
+		cfg.Sampler = smallworld.Protocol
+		cfg.Topology = keyspace.Ring
+		nw, err := smallworld.Build(cfg)
+		if err != nil {
+			t.AddNote("build failed for k=%d: %v", k, err)
+			continue
+		}
+		hops := routeHops(nw, seed+400+uint64(k), queriesFor(scale))
+		mean := metrics.Mean(hops)
+		t.AddRow(k, mean, metrics.Percentile(hops, 0.99), mean*float64(k), float64(k)/log2(n))
+	}
+	t.AddNote("hops·k should be roughly constant (≈ log²N = %.0f) until k saturates at log2N", log2(n)*log2(n))
+	return t
+}
+
+// E15KleinbergExponent reproduces the background claim (Section 2) from
+// Kleinberg's characterisation: greedy routing is efficient only when
+// the link exponent r equals the space dimension (1 here). Sweeping r
+// shows the hop-count minimum at r = 1, widening with N.
+func E15KleinbergExponent(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "E15",
+		Title:   "Kleinberg exponent sweep — hops vs r (expect minimum at r = 1)",
+		Columns: []string{"N", "r=0.0", "r=0.5", "r=1.0", "r=1.5", "r=2.0"},
+	}
+	sizes := []int{1024, 4096}
+	if scale == Quick {
+		sizes = []int{1024}
+	}
+	rs := []float64{1e-9, 0.5, 1, 1.5, 2} // r=0 encoded as tiny epsilon (0 means default)
+	for _, n := range sizes {
+		row := []interface{}{n}
+		for _, r := range rs {
+			cfg := smallworld.KleinbergConfig(n, 4, r, seed+uint64(n))
+			cfg.Sampler = smallworld.Protocol
+			cfg.Topology = keyspace.Ring
+			nw, err := smallworld.Build(cfg)
+			if err != nil {
+				t.AddNote("build failed r=%v: %v", r, err)
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, metrics.Mean(routeHops(nw, seed+500, queriesFor(scale))))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("harmonic r=1 should dominate both the uniform-random (r→0) and over-local (r=2) regimes")
+	return t
+}

@@ -1,0 +1,219 @@
+// Package graph provides the directed-graph substrate used to analyse
+// constructed overlays: adjacency storage, BFS distances, strong
+// connectivity, clustering coefficients, and degree/path-length summaries.
+// Overlay networks in the paper are directed graphs G = (P, E) whose
+// edges are routing-table entries, so all analysis here is directed.
+package graph
+
+import (
+	"fmt"
+
+	"smallworld/internal/metrics"
+	"smallworld/internal/xrand"
+)
+
+// Graph is a directed graph over nodes 0..N-1 with adjacency lists.
+type Graph struct {
+	adj   [][]int32
+	edges int
+}
+
+// New creates a graph with n isolated nodes. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddEdge inserts the directed edge u -> v if it is not already present
+// and is not a self-loop; it reports whether an edge was added.
+func (g *Graph) AddEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v || g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.edges++
+	return true
+}
+
+// RemoveEdge deletes the directed edge u -> v; it reports whether the
+// edge existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for i, w := range g.adj[u] {
+		if int(w) == v {
+			g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
+			g.edges--
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether the directed edge u -> v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the out-neighbour list of u. The returned slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Out(u int) []int32 {
+	g.check(u)
+	return g.adj[u]
+}
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	c.edges = g.edges
+	for u, ns := range g.adj {
+		c.adj[u] = append([]int32(nil), ns...)
+	}
+	return c
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// BFS returns hop distances from src to every node (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Reverse returns the graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.N())
+	for u, ns := range g.adj {
+		for _, v := range ns {
+			r.adj[v] = append(r.adj[v], int32(u))
+		}
+	}
+	r.edges = g.edges
+	return r
+}
+
+// StronglyConnected reports whether every node can reach every other node.
+// It runs forward and reverse BFS from node 0 (Kosaraju-style check),
+// which is exact for strong connectivity. An empty graph is connected;
+// a single node is connected.
+func (g *Graph) StronglyConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	for _, d := range g.Reverse().BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeStats summarises the out-degree distribution.
+func (g *Graph) DegreeStats() metrics.Summary {
+	var s metrics.Summary
+	for u := 0; u < g.N(); u++ {
+		s.Add(float64(len(g.adj[u])))
+	}
+	return s
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient:
+// for each node with at least two out-neighbours, the fraction of ordered
+// neighbour pairs (v,w) with an edge v -> w. Nodes with fewer than two
+// out-neighbours contribute zero (Watts–Strogatz convention).
+func (g *Graph) ClusteringCoefficient() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	var total float64
+	for u := 0; u < g.N(); u++ {
+		ns := g.adj[u]
+		k := len(ns)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		for _, v := range ns {
+			for _, w := range ns {
+				if v != w && g.HasEdge(int(v), int(w)) {
+					links++
+				}
+			}
+		}
+		total += float64(links) / float64(k*(k-1))
+	}
+	return total / float64(g.N())
+}
+
+// PathLengthStats estimates the shortest-path-length distribution by
+// running BFS from `samples` random sources and aggregating distances to
+// all reachable nodes. It also reports the largest distance seen
+// (a lower bound on the diameter).
+func (g *Graph) PathLengthStats(r *xrand.Stream, samples int) (s metrics.Summary, maxDist int) {
+	if g.N() == 0 || samples <= 0 {
+		return
+	}
+	if samples > g.N() {
+		samples = g.N()
+	}
+	for _, src := range r.Perm(g.N())[:samples] {
+		for v, d := range g.BFS(src) {
+			if d <= 0 || v == src {
+				continue
+			}
+			s.Add(float64(d))
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,86 @@
+// Package loadbalance quantifies the storage-balancing premise of the
+// paper's Section 4: when resource keys are skewed, peers must be placed
+// non-uniformly (following the key density f) for per-peer storage load
+// to balance; uniformly placed peers end up wildly unbalanced. The
+// package assigns data keys to their closest peer and summarises the
+// per-peer load distribution.
+package loadbalance
+
+import (
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/metrics"
+	"smallworld/internal/xrand"
+)
+
+// Loads assigns every data key to its closest node under the topology
+// and returns the per-node key counts. Nodes must be sorted.
+func Loads(topo keyspace.Topology, nodes keyspace.Points, data []keyspace.Key) []int {
+	loads := make([]int, len(nodes))
+	for _, k := range data {
+		if i := nodes.Nearest(topo, k); i >= 0 {
+			loads[i]++
+		}
+	}
+	return loads
+}
+
+// Report summarises a load vector.
+type Report struct {
+	// Mean is the average keys per node.
+	Mean float64
+	// MaxMeanRatio is the heaviest node's load relative to the mean
+	// (1 = perfectly balanced).
+	MaxMeanRatio float64
+	// CV is the coefficient of variation of the loads.
+	CV float64
+	// Gini is the Gini coefficient of the loads.
+	Gini float64
+	// Empty counts nodes holding no keys.
+	Empty int
+}
+
+// Analyze computes the balance metrics of a load vector.
+func Analyze(loads []int) Report {
+	var s metrics.Summary
+	fs := make([]float64, len(loads))
+	empty := 0
+	for i, l := range loads {
+		fs[i] = float64(l)
+		s.Add(float64(l))
+		if l == 0 {
+			empty++
+		}
+	}
+	r := Report{Mean: s.Mean(), CV: s.CV(), Gini: metrics.Gini(fs), Empty: empty}
+	if s.Mean() > 0 {
+		r.MaxMeanRatio = s.Max() / s.Mean()
+	}
+	return r
+}
+
+// PlaceUniform returns n node positions sampled uniformly — the classic
+// DHT placement that balances only when keys are uniform too.
+func PlaceUniform(n int, r *xrand.Stream) keyspace.Points {
+	return keyspace.SortPoints(dist.SampleN(dist.Uniform{}, r, n))
+}
+
+// PlaceAdapted returns n node positions sampled from the key density f
+// itself — the load-adapting mechanism the paper assumes (its references
+// [2,16,12]): node density tracks data density, so expected load is 1/n
+// of the data everywhere.
+func PlaceAdapted(n int, f dist.Distribution, r *xrand.Stream) keyspace.Points {
+	return keyspace.SortPoints(dist.SampleN(f, r, n))
+}
+
+// PlaceEqualMass returns n node positions at the exact (i+1/2)/n
+// quantiles of f — the idealised limit of adaptive placement where every
+// node covers precisely 1/n of the key mass.
+func PlaceEqualMass(n int, f dist.Distribution) keyspace.Points {
+	pts := make([]keyspace.Key, n)
+	for i := range pts {
+		q := (float64(i) + 0.5) / float64(n)
+		pts[i] = keyspace.Clamp(f.Quantile(q))
+	}
+	return keyspace.SortPoints(pts)
+}

@@ -1,0 +1,340 @@
+package overlay
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/metrics"
+	"smallworld/internal/xrand"
+)
+
+func bootstrapped(t *testing.T, cfg Config, n int) *Network {
+	t.Helper()
+	nw := New(cfg)
+	if err := nw.Bootstrap(n); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	return nw
+}
+
+// checkRing verifies the doubly linked ring is consistent and ordered.
+func checkRing(t *testing.T, nw *Network) {
+	t.Helper()
+	peers := nw.Peers()
+	if len(peers) == 0 {
+		return
+	}
+	// Walk the ring from any peer; must visit all peers exactly once.
+	start := peers[0]
+	cur := start
+	visited := map[*Peer]bool{}
+	for i := 0; i <= len(peers); i++ {
+		if visited[cur] {
+			break
+		}
+		visited[cur] = true
+		if cur.next.prev != cur {
+			t.Fatalf("ring inconsistency at %v", cur.ID)
+		}
+		cur = cur.next
+	}
+	if len(visited) != len(peers) {
+		t.Fatalf("ring walk visited %d of %d peers", len(visited), len(peers))
+	}
+	// Keys must appear in cyclic ascending order: exactly one descent.
+	descents := 0
+	cur = start
+	for i := 0; i < len(peers); i++ {
+		if cur.next.ID < cur.ID {
+			descents++
+		}
+		cur = cur.next
+	}
+	if descents != 1 {
+		t.Fatalf("ring is not in key order: %d descents", descents)
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 1, Oracle: true}, 64)
+	if nw.Size() != 64 {
+		t.Fatalf("Size = %d", nw.Size())
+	}
+	checkRing(t, nw)
+	// Long links drawn: expect ~log2(64) = 6 per peer.
+	var s metrics.Summary
+	for _, p := range nw.Peers() {
+		s.Add(float64(len(p.long)))
+	}
+	if s.Mean() < 3 {
+		t.Errorf("mean long links %.1f, expected near log2 N = 6", s.Mean())
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	nw := New(Config{Seed: 1})
+	if err := nw.Bootstrap(1); err == nil {
+		t.Error("Bootstrap(1) should fail")
+	}
+	if err := nw.Bootstrap(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Bootstrap(4); err == nil {
+		t.Error("double Bootstrap should fail")
+	}
+}
+
+func TestLookupFindsClosest(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 2, Oracle: true}, 128)
+	peers := nw.Peers()
+	r := xrand.New(3)
+	for i := 0; i < 300; i++ {
+		src := peers[r.Intn(len(peers))]
+		target := keyspace.Key(r.Float64())
+		got, _ := nw.Lookup(src, target)
+		// Verify against brute force.
+		best := peers[0]
+		for _, p := range peers {
+			if keyspace.Ring.Distance(p.ID, target) < keyspace.Ring.Distance(best.ID, target) {
+				best = p
+			}
+		}
+		if keyspace.Ring.Distance(got.ID, target) > keyspace.Ring.Distance(best.ID, target) {
+			t.Fatalf("lookup(%v) = %v, closest is %v", target, got.ID, best.ID)
+		}
+	}
+}
+
+func TestJoinMaintainsRing(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 4, Oracle: true}, 16)
+	for i := 0; i < 100; i++ {
+		if _, _, err := nw.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nw.Size() != 116 {
+		t.Fatalf("Size = %d, want 116", nw.Size())
+	}
+	checkRing(t, nw)
+}
+
+func TestJoinCostLogarithmic(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 5, Oracle: true}, 512)
+	var s metrics.Summary
+	for i := 0; i < 100; i++ {
+		_, stats, err := nw.Join()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(float64(stats.Total()))
+	}
+	// Locate is O(log n) and each of the log n link queries is O(log n):
+	// total O(log² n) ≈ 100 for n = 512; generous ceiling.
+	if s.Mean() > 4*math.Log2(512)*math.Log2(512) {
+		t.Errorf("mean join cost %.0f messages, too high", s.Mean())
+	}
+	if s.Mean() < math.Log2(512) {
+		t.Errorf("mean join cost %.0f implausibly low", s.Mean())
+	}
+}
+
+func TestJoinOnSkewedNetwork(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 6, Oracle: true, Dist: dist.NewPower(0.7)}, 256)
+	for i := 0; i < 50; i++ {
+		if _, _, err := nw.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkRing(t, nw)
+	hops := nw.HopStats(7, 500)
+	if m := metrics.Mean(hops); m > 3*math.Log2(float64(nw.Size())) {
+		t.Errorf("mean hops %.1f too high on skewed oracle overlay", m)
+	}
+}
+
+func TestLeaveHealsRing(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 8, Oracle: true}, 64)
+	peers := nw.Peers()
+	for i := 0; i < 20; i++ {
+		nw.Leave(peers[i], true)
+	}
+	if nw.Size() != 44 {
+		t.Fatalf("Size = %d, want 44", nw.Size())
+	}
+	checkRing(t, nw)
+	// No peer may keep a link to a departed peer.
+	for _, p := range nw.Peers() {
+		for _, q := range p.long {
+			if !q.alive {
+				t.Fatal("dangling long link to departed peer")
+			}
+		}
+	}
+	// Routing still works.
+	hops := nw.HopStats(9, 200)
+	if len(hops) == 0 || metrics.Mean(hops) > float64(nw.Size()) {
+		t.Error("routing broken after departures")
+	}
+}
+
+func TestLeaveWithoutRepairDropsLinks(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 10, Oracle: true}, 64)
+	var before int
+	for _, p := range nw.Peers() {
+		before += len(p.long)
+	}
+	peers := nw.Peers()
+	for i := 0; i < 16; i++ {
+		nw.Leave(peers[i], false)
+	}
+	var after int
+	for _, p := range nw.Peers() {
+		after += len(p.long)
+	}
+	if after >= before {
+		t.Errorf("long-link count should drop without repair: %d -> %d", before, after)
+	}
+	checkRing(t, nw)
+}
+
+func TestEstimatedModeConverges(t *testing.T) {
+	// E11 in miniature: estimate-mode peers start skew-oblivious; after a
+	// few refinement rounds, routing approaches the oracle overlay.
+	d := dist.NewTruncExp(6)
+	oracle := bootstrapped(t, Config{Seed: 11, Oracle: true, Dist: d}, 256)
+	est := bootstrapped(t, Config{Seed: 11, Oracle: false, Dist: d, EstimateBins: 24}, 256)
+
+	oracleHops := metrics.Mean(oracle.HopStats(12, 800))
+	before := metrics.Mean(est.HopStats(12, 800))
+	for round := 0; round < 3; round++ {
+		est.Refine(48, 6)
+	}
+	after := metrics.Mean(est.HopStats(12, 800))
+
+	if after > before {
+		t.Errorf("refinement made routing worse: %.2f -> %.2f", before, after)
+	}
+	if after > 1.6*oracleHops {
+		t.Errorf("refined overlay %.2f hops, oracle %.2f — did not converge", after, oracleHops)
+	}
+}
+
+func TestMessagesCounted(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 13, Oracle: true}, 64)
+	base := nw.Messages()
+	nw.HopStats(14, 100)
+	if nw.Messages() <= base {
+		t.Error("lookup messages not counted")
+	}
+}
+
+func TestConcurrentLookupsAndJoins(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 15, Oracle: true}, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for i := 0; i < 200; i++ {
+				peers := nw.Peers()
+				src := peers[r.Intn(len(peers))]
+				nw.Lookup(src, keyspace.Key(r.Float64()))
+			}
+		}(uint64(16 + w))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, _, err := nw.Join(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if nw.Size() != 178 {
+		t.Fatalf("Size = %d, want 178", nw.Size())
+	}
+	checkRing(t, nw)
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 17, Oracle: true}, 256)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Lookup workers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				peers := nw.Peers()
+				nw.Lookup(peers[r.Intn(len(peers))], keyspace.Key(r.Float64()))
+			}
+		}(uint64(18 + w))
+	}
+	// Churn worker: joins and leaves interleaved.
+	r := xrand.New(21)
+	for i := 0; i < 60; i++ {
+		if r.Bool(0.5) {
+			if _, _, err := nw.Join(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			peers := nw.Peers()
+			nw.Leave(peers[r.Intn(len(peers))], true)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	checkRing(t, nw)
+}
+
+func TestRandomWalkStaysInNetwork(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 22, Oracle: true}, 64)
+	peers := nw.Peers()
+	inNetwork := map[*Peer]bool{}
+	for _, p := range peers {
+		inNetwork[p] = true
+	}
+	for i := 0; i < 100; i++ {
+		end := nw.RandomWalk(peers[i%len(peers)], 8)
+		if !inNetwork[end] {
+			t.Fatal("walk escaped the network")
+		}
+	}
+}
+
+func TestSizeEstimation(t *testing.T) {
+	nw := bootstrapped(t, Config{Seed: 23, Oracle: false, EstimateBins: 16}, 512)
+	nw.Refine(32, 6)
+	var s metrics.Summary
+	for _, p := range nw.Peers() {
+		s.Add(p.nEst)
+	}
+	// Individual estimates are extremely noisy (exponential gaps), but
+	// the median should be within an order of magnitude of the truth.
+	if s.Mean() < 32 {
+		t.Errorf("mean size estimate %.0f far below truth 512", s.Mean())
+	}
+}
+
+func TestJoinNeedsBootstrap(t *testing.T) {
+	nw := New(Config{Seed: 24})
+	if _, _, err := nw.Join(); err == nil {
+		t.Error("Join on empty network should fail")
+	}
+}

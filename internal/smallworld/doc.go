@@ -1,0 +1,27 @@
+// Package smallworld implements the paper's primary contribution: the two
+// extended Kleinberg small-world models for structured P2P overlays.
+//
+// Model 1 ("uniform key distribution, logarithmic outdegree", Section 3):
+// peers hold identifiers drawn uniformly from [0,1), each keeps two
+// neighbour links (predecessor and successor in key order) plus log2(N)
+// long-range links chosen with probability inversely proportional to the
+// geometric distance d(u,v), restricted to d(u,v) >= 1/N. Theorem 1 shows
+// greedy routing needs O(log2 N) expected hops.
+//
+// Model 2 ("skewed key distribution", Section 4): identifiers follow an
+// arbitrary density f, and long-range links are chosen inversely
+// proportional to the probability mass |∫ f| between the peers (Eq. 7),
+// restricted to mass >= 1/N. Theorem 2 shows routing stays O(log2 N)
+// independent of the skew, by the CDF normalisation argument of
+// Figures 1-2.
+//
+// Both models, plus the classic Kleinberg construction with an arbitrary
+// exponent r (used to reproduce the "routing is efficient iff r equals
+// the dimension" background claim), are expressed through one Config: a
+// distance Measure (geometric or mass), an Exponent, and a Degree
+// function (constant through logarithmic). Two link samplers are
+// provided: the literal O(N)-per-node discrete sampler of the model
+// definition, and the O(log N) continuous sampler that mirrors the
+// Section 4.2 join protocol (draw a value from h_u, route to it, link to
+// the responder).
+package smallworld

@@ -1,0 +1,142 @@
+package smallworld
+
+import (
+	"smallworld/internal/keyspace"
+)
+
+// Route records one greedy routing attempt.
+type Route struct {
+	// Path lists the visited node indices, starting at the source.
+	Path []int
+	// Arrived reports whether the route terminated at a node whose
+	// distance to the target equals the minimum over the whole network
+	// (when two peers straddle the target at exactly equal distance,
+	// either is a correct destination).
+	Arrived bool
+	// Truncated reports that the hop guard fired (should never happen
+	// with intact neighbouring edges).
+	Truncated bool
+}
+
+// Hops returns the number of overlay hops taken.
+func (r Route) Hops() int { return len(r.Path) - 1 }
+
+// maxHopsFor bounds route length defensively. Greedy routing never
+// revisits a node (its lexicographic potential strictly decreases), so n
+// hops is the true worst case; NoN routing records intermediate hops, so
+// allow twice that.
+func maxHopsFor(n int) int { return 2 * n }
+
+// better reports whether moving to candidate v improves on the current
+// position (curKey, dCur) for the given target: strictly smaller distance,
+// or — on an exact float64 distance tie — strictly between the current
+// key and the target in arc order. The tie-break matters in extremely
+// skewed key spaces, where whole clusters of peers collapse to one
+// rounded distance value and plain greedy would stall; key-order
+// comparisons stay exact there. Each tie-move strictly advances along
+// the arc, so routing still terminates.
+func better(topo keyspace.Topology, curKey, vKey, target keyspace.Key, dv, dCur float64) bool {
+	if dv < dCur {
+		return true
+	}
+	return dv == dCur && topo.Advances(curKey, vKey, target)
+}
+
+// RouteGreedy routes a request from node src to the peer responsible for
+// target using greedy distance-minimising routing: each hop forwards to
+// the out-neighbour closest to the target, stopping when no out-neighbour
+// improves on the current node (Section 3's routing rule). With intact
+// neighbouring edges the stopping node is exactly the network-closest
+// node to the target.
+func (nw *Network) RouteGreedy(src int, target keyspace.Key) Route {
+	topo := nw.cfg.Topology
+	cur := src
+	path := []int{src}
+	guard := maxHopsFor(nw.cfg.N)
+	dCur := topo.Distance(nw.keys[cur], target)
+	for hops := 0; ; hops++ {
+		if hops >= guard {
+			return Route{Path: path, Truncated: true}
+		}
+		best, bestD := -1, dCur
+		bestKey := nw.keys[cur]
+		for _, v := range nw.g.Out(cur) {
+			vKey := nw.keys[v]
+			d := topo.Distance(vKey, target)
+			if better(topo, bestKey, vKey, target, d, bestD) {
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+		path = append(path, cur)
+	}
+	return Route{Path: path, Arrived: nw.isNearest(cur, target)}
+}
+
+// isNearest reports whether node u is at the minimal distance to target
+// over the whole network.
+func (nw *Network) isNearest(u int, target keyspace.Key) bool {
+	c := nw.ClosestNode(target)
+	topo := nw.cfg.Topology
+	return topo.Distance(nw.keys[u], target) <= topo.Distance(nw.keys[c], target)
+}
+
+// RouteGreedyNoN routes with one-hop lookahead ("know thy neighbour's
+// neighbour", Manku et al., STOC 2004 — the paper's reference [10]):
+// each decision inspects neighbours and neighbours-of-neighbours, moves
+// to the best second-hop node via its intermediary, and falls back to
+// plain greedy steps when lookahead stops improving. It demonstrates the
+// paper's remark that randomized small-world topologies admit
+// better-than-greedy routing without changing the graph.
+func (nw *Network) RouteGreedyNoN(src int, target keyspace.Key) Route {
+	topo := nw.cfg.Topology
+	cur := src
+	path := []int{src}
+	guard := maxHopsFor(nw.cfg.N)
+	dCur := topo.Distance(nw.keys[cur], target)
+	for len(path) < guard {
+		// Best direct neighbour (with the plateau tie-break).
+		best1, bestD1 := -1, dCur
+		bestKey1 := nw.keys[cur]
+		for _, v := range nw.g.Out(cur) {
+			vKey := nw.keys[v]
+			d := topo.Distance(vKey, target)
+			if better(topo, bestKey1, vKey, target, d, bestD1) {
+				best1, bestD1, bestKey1 = int(v), d, vKey
+			}
+		}
+		// Best two-hop destination and its intermediary (strict
+		// improvement only; the plateau case is handled by best1).
+		best2, via, bestD2 := -1, -1, dCur
+		for _, v := range nw.g.Out(cur) {
+			for _, w := range nw.g.Out(int(v)) {
+				if int(w) == cur {
+					continue
+				}
+				if d := topo.Distance(nw.keys[w], target); d < bestD2 {
+					best2, via, bestD2 = int(w), int(v), d
+				}
+			}
+		}
+		switch {
+		case best2 != -1 && bestD2 < bestD1:
+			path = append(path, via, best2)
+			cur, dCur = best2, bestD2
+		case best1 != -1:
+			path = append(path, best1)
+			cur, dCur = best1, bestD1
+		default:
+			return Route{Path: path, Arrived: nw.isNearest(cur, target)}
+		}
+	}
+	return Route{Path: path, Truncated: true}
+}
+
+// RouteToNode is a convenience wrapper routing to another node's
+// identifier.
+func (nw *Network) RouteToNode(src, dst int) Route {
+	return nw.RouteGreedy(src, nw.keys[dst])
+}

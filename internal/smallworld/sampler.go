@@ -1,0 +1,212 @@
+package smallworld
+
+import (
+	"math"
+	"sort"
+
+	"smallworld/internal/keyspace"
+	"smallworld/internal/xrand"
+)
+
+// sampler draws a node's long-range targets.
+type sampler interface {
+	// sampleLinks returns up to m distinct long-range targets for node u,
+	// excluding u itself and u's neighbouring-edge targets.
+	sampleLinks(nw *Network, u, m int, rng *xrand.Stream) []int32
+}
+
+// maxAttemptsPerLink bounds re-draws when a sampled target duplicates an
+// existing link; beyond it the link is recorded as shortfall.
+const maxAttemptsPerLink = 64
+
+// exactSampler draws from the literal discrete model distribution:
+// P[v] ∝ 1/measure(u,v)^r over every eligible peer (measure >= MinMeasure).
+type exactSampler struct{}
+
+func (exactSampler) sampleLinks(nw *Network, u, m int, rng *xrand.Stream) []int32 {
+	if m == 0 {
+		return nil
+	}
+	n := nw.cfg.N
+	r := nw.cfg.Exponent
+	cum := make([]float64, n+1)
+	for v := 0; v < n; v++ {
+		w := 0.0
+		if v != u {
+			if meas := nw.measureBetween(u, v); meas >= nw.cfg.MinMeasure {
+				if r == 1 {
+					w = 1 / meas
+				} else {
+					w = math.Pow(meas, -r)
+				}
+			}
+		}
+		cum[v+1] = cum[v] + w
+	}
+	total := cum[n]
+	if total <= 0 {
+		return nil
+	}
+	links := make([]int32, 0, m)
+	for len(links) < m {
+		placed := false
+		for attempt := 0; attempt < maxAttemptsPerLink; attempt++ {
+			target := rng.Float64() * total
+			// First index with cum[i] > target is the end of the chosen
+			// node's weight span; the node is that index minus one.
+			v := sort.SearchFloat64s(cum, target)
+			if v > 0 && cum[v] > target {
+				v--
+			}
+			// Skip zero-weight spans the search may land on.
+			for v < n && cum[v+1] == cum[v] {
+				v++
+			}
+			if v >= n {
+				continue
+			}
+			if acceptLink(nw, u, v, links) {
+				links = append(links, int32(v))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return links
+}
+
+// protocolSampler mirrors the Section 4.2 join protocol: draw an offset in
+// measure space with density ∝ m^-r over the eligible range, map it back
+// to a key (through the quantile function for the Mass measure), and link
+// to the peer closest to that key — exactly what "query for the drawn
+// value and add the responder" achieves in a deployed overlay.
+type protocolSampler struct{}
+
+func (protocolSampler) sampleLinks(nw *Network, u, m int, rng *xrand.Stream) []int32 {
+	if m == 0 {
+		return nil
+	}
+	r := nw.cfg.Exponent
+	lo := nw.cfg.MinMeasure
+	pos := nw.measurePos(u)
+	links := make([]int32, 0, m)
+	for len(links) < m {
+		placed := false
+		for attempt := 0; attempt < maxAttemptsPerLink; attempt++ {
+			target, ok := sampleMeasureTarget(nw, pos, r, lo, rng)
+			if !ok {
+				return links
+			}
+			v := nw.resolveKey(target, u)
+			if v >= 0 && acceptLink(nw, u, v, links) {
+				links = append(links, int32(v))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return links
+}
+
+// sampleMeasureTarget draws a target position in measure space at offset
+// m ∝ m^-r from pos, honouring the line/ring geometry. ok is false when
+// no eligible offset exists on either side.
+func sampleMeasureTarget(nw *Network, pos, r, lo float64, rng *xrand.Stream) (float64, bool) {
+	if nw.cfg.Topology == keyspace.Ring {
+		const hi = 0.5
+		if hi <= lo {
+			return 0, false
+		}
+		off := powerOffset(rng, r, lo, hi)
+		if rng.Bool(0.5) {
+			off = -off
+		}
+		return float64(keyspace.Wrap(pos + off)), true
+	}
+	// Line: the available measure to the right is 1-pos, to the left pos.
+	wRight := sideWeight(r, lo, 1-pos)
+	wLeft := sideWeight(r, lo, pos)
+	if wRight+wLeft <= 0 {
+		return 0, false
+	}
+	if rng.Float64()*(wRight+wLeft) < wRight {
+		return pos + powerOffset(rng, r, lo, 1-pos), true
+	}
+	return pos - powerOffset(rng, r, lo, pos), true
+}
+
+// measurePos returns node u's coordinate in measure space: its image in
+// R' for the Mass measure, its raw identifier for the Geometric measure.
+func (nw *Network) measurePos(u int) float64 {
+	if nw.cfg.Measure == Mass {
+		return nw.norm[u]
+	}
+	return float64(nw.keys[u])
+}
+
+// resolveKey maps a measure-space position back to the closest node,
+// excluding u. It returns -1 when resolution fails.
+func (nw *Network) resolveKey(target float64, u int) int {
+	var key keyspace.Key
+	if nw.cfg.Measure == Mass {
+		key = keyspace.Clamp(nw.cfg.Dist.Quantile(clamp01(target)))
+	} else {
+		key = keyspace.Clamp(target)
+	}
+	return nw.keys.NearestExcluding(nw.cfg.Topology, key, u)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// acceptLink reports whether v is a valid new long-range target for u:
+// not u itself, not a neighbouring-edge target, not already chosen.
+func acceptLink(nw *Network, u, v int, chosen []int32) bool {
+	if v == u || nw.isNeighborIndex(u, v) {
+		return false
+	}
+	for _, w := range chosen {
+		if int(w) == v {
+			return false
+		}
+	}
+	return true
+}
+
+// sideWeight is the normalisation mass of the density m^-r on [lo, hi]:
+// ln(hi/lo) for r = 1, (hi^(1-r) - lo^(1-r))/(1-r) otherwise; zero when
+// the interval is empty.
+func sideWeight(r, lo, hi float64) float64 {
+	if hi <= lo || lo <= 0 {
+		return 0
+	}
+	if r == 1 {
+		return math.Log(hi / lo)
+	}
+	return (math.Pow(hi, 1-r) - math.Pow(lo, 1-r)) / (1 - r)
+}
+
+// powerOffset draws m in [lo, hi] with density ∝ m^-r by inverse
+// transform (LogUniform for the harmonic case r = 1).
+func powerOffset(rng *xrand.Stream, r, lo, hi float64) float64 {
+	if r == 1 {
+		return rng.LogUniform(lo, hi)
+	}
+	u := rng.Float64()
+	a := math.Pow(lo, 1-r)
+	b := math.Pow(hi, 1-r)
+	return math.Pow(a+u*(b-a), 1/(1-r))
+}

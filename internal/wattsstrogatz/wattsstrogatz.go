@@ -1,0 +1,124 @@
+// Package wattsstrogatz implements the Watts–Strogatz rewiring model
+// (Nature 1998 — the paper's reference [17]), the construction the
+// paper's Background section contrasts against Kleinberg's: rewiring a
+// regular ring lattice with probability p produces graphs that are
+// "small world" in the structural sense (low diameter, high clustering)
+// for intermediate p, yet — as Kleinberg proved and experiment E16
+// reproduces — *greedy* routing cannot exploit their short paths,
+// because rewired links carry no distance information.
+package wattsstrogatz
+
+import (
+	"fmt"
+
+	"smallworld/internal/graph"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/xrand"
+)
+
+// Config describes a Watts–Strogatz graph.
+type Config struct {
+	// N is the number of nodes (>= 4).
+	N int
+	// K is the even number of lattice neighbours per node (K/2 each
+	// side).
+	K int
+	// P is the rewiring probability in [0,1]: 0 keeps the regular
+	// lattice, 1 yields an (almost) random graph.
+	P float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Network is a built Watts–Strogatz graph. Nodes sit at evenly spaced
+// ring positions i/N, so greedy key-distance routing is well defined and
+// comparable with the Kleinberg-style overlays.
+type Network struct {
+	cfg Config
+	g   *graph.Graph
+}
+
+// Build constructs the graph: a ring lattice where each node connects to
+// its K/2 clockwise successors (edges inserted in both directions), then
+// each lattice edge's far endpoint is rewired to a uniform random node
+// with probability P.
+func Build(cfg Config) (*Network, error) {
+	if cfg.N < 4 {
+		return nil, fmt.Errorf("wattsstrogatz: N = %d, need >= 4", cfg.N)
+	}
+	if cfg.K < 2 || cfg.K%2 != 0 || cfg.K >= cfg.N {
+		return nil, fmt.Errorf("wattsstrogatz: K = %d must be even, >= 2 and < N", cfg.K)
+	}
+	if cfg.P < 0 || cfg.P > 1 {
+		return nil, fmt.Errorf("wattsstrogatz: P = %v outside [0,1]", cfg.P)
+	}
+	rng := xrand.New(cfg.Seed)
+	g := graph.New(cfg.N)
+	for u := 0; u < cfg.N; u++ {
+		for j := 1; j <= cfg.K/2; j++ {
+			v := (u + j) % cfg.N
+			if rng.Bool(cfg.P) {
+				// Rewire: pick a random endpoint avoiding self-loops and
+				// duplicates (retry a few times like the original model).
+				for attempt := 0; attempt < 32; attempt++ {
+					w := rng.Intn(cfg.N)
+					if w != u && !g.HasEdge(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			g.AddEdge(u, v)
+			g.AddEdge(v, u)
+		}
+	}
+	return &Network{cfg: cfg, g: g}, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.cfg.N }
+
+// Graph exposes the underlying graph for analysis.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Key returns node u's ring position u/N.
+func (nw *Network) Key(u int) keyspace.Key {
+	return keyspace.Key(float64(u) / float64(nw.cfg.N))
+}
+
+// RouteGreedy performs greedy ring-distance routing toward the node dst,
+// returning the hop count and whether it reached dst. Unlike the
+// harmonic small-world constructions, Watts–Strogatz graphs give greedy
+// routing no usable gradient: expect frequent long walks along the
+// lattice even when short paths exist.
+func (nw *Network) RouteGreedy(src, dst int) (hops int, arrived bool) {
+	target := nw.Key(dst)
+	cur := src
+	dCur := keyspace.Ring.Distance(nw.Key(cur), target)
+	for step := 0; step <= nw.cfg.N; step++ {
+		if cur == dst {
+			return hops, true
+		}
+		best, bestD := -1, dCur
+		for _, v := range nw.g.Out(cur) {
+			if d := keyspace.Ring.Distance(nw.Key(int(v)), target); d < bestD {
+				best, bestD = int(v), d
+			}
+		}
+		if best == -1 {
+			return hops, false
+		}
+		cur, dCur = best, bestD
+		hops++
+	}
+	return hops, false
+}
+
+// Stats reports the two structural small-world measures of the original
+// paper: mean clustering coefficient and mean shortest-path length
+// (sampled over `samples` BFS sources).
+func (nw *Network) Stats(r *xrand.Stream, samples int) (clustering, meanPath float64) {
+	clustering = nw.g.ClusteringCoefficient()
+	s, _ := nw.g.PathLengthStats(r, samples)
+	return clustering, s.Mean()
+}

@@ -1,0 +1,95 @@
+// Package workload generates the query and churn traces that drive the
+// experiments: query targets drawn uniformly, from the data distribution
+// (hot keys are queried more), or from a hotspot; and churn schedules of
+// interleaved joins and departures.
+package workload
+
+import (
+	"fmt"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/keyspace"
+	"smallworld/internal/xrand"
+)
+
+// TargetKind selects how query targets are drawn.
+type TargetKind int
+
+const (
+	// UniformTargets spreads queries evenly over the key space.
+	UniformTargets TargetKind = iota
+	// DataTargets draws queries from the data distribution itself: hot
+	// key ranges receive proportionally more queries, the workload the
+	// paper's data-oriented applications imply.
+	DataTargets
+	// HotspotTargets concentrates queries on a narrow region around the
+	// densest part of the key space.
+	HotspotTargets
+)
+
+// String returns the target-kind name.
+func (k TargetKind) String() string {
+	switch k {
+	case UniformTargets:
+		return "uniform"
+	case DataTargets:
+		return "data"
+	case HotspotTargets:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("TargetKind(%d)", int(k))
+	}
+}
+
+// Targets draws n query targets of the given kind against data density f.
+func Targets(kind TargetKind, f dist.Distribution, r *xrand.Stream, n int) []keyspace.Key {
+	out := make([]keyspace.Key, n)
+	for i := range out {
+		switch kind {
+		case UniformTargets:
+			out[i] = keyspace.Key(r.Float64())
+		case DataTargets:
+			out[i] = dist.Sample(f, r)
+		case HotspotTargets:
+			// A tight band around the data median.
+			center := f.Quantile(0.5)
+			out[i] = keyspace.Wrap(center + 0.01*(r.Float64()-0.5))
+		default:
+			panic(fmt.Sprintf("workload: unknown target kind %d", kind))
+		}
+	}
+	return out
+}
+
+// EventKind is a churn event type.
+type EventKind int
+
+const (
+	// Join adds a peer.
+	Join EventKind = iota
+	// Leave removes a random peer.
+	Leave
+)
+
+// Event is one churn step.
+type Event struct {
+	Kind EventKind
+}
+
+// ChurnTrace generates a length-n event sequence where each event is a
+// join with probability joinFrac (otherwise a leave). joinFrac > 0.5
+// grows the network, < 0.5 shrinks it.
+func ChurnTrace(n int, joinFrac float64, r *xrand.Stream) []Event {
+	if joinFrac < 0 || joinFrac > 1 {
+		panic(fmt.Sprintf("workload: joinFrac %v outside [0,1]", joinFrac))
+	}
+	events := make([]Event, n)
+	for i := range events {
+		if r.Bool(joinFrac) {
+			events[i] = Event{Kind: Join}
+		} else {
+			events[i] = Event{Kind: Leave}
+		}
+	}
+	return events
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"smallworld/internal/dist"
+	"smallworld/internal/xrand"
+)
+
+func TestTargetsUniform(t *testing.T) {
+	r := xrand.New(1)
+	ts := Targets(UniformTargets, dist.Uniform{}, r, 1000)
+	if len(ts) != 1000 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	below := 0
+	for _, k := range ts {
+		if !k.Valid() {
+			t.Fatalf("invalid key %v", k)
+		}
+		if k < 0.5 {
+			below++
+		}
+	}
+	if below < 400 || below > 600 {
+		t.Errorf("uniform targets skewed: %d below 0.5", below)
+	}
+}
+
+func TestTargetsData(t *testing.T) {
+	r := xrand.New(2)
+	f := dist.NewPower(0.8)
+	ts := Targets(DataTargets, f, r, 2000)
+	below := 0
+	for _, k := range ts {
+		if float64(k) < f.Quantile(0.5) {
+			below++
+		}
+	}
+	if below < 800 || below > 1200 {
+		t.Errorf("data targets should median-split at the data median, got %d/2000", below)
+	}
+}
+
+func TestTargetsHotspot(t *testing.T) {
+	r := xrand.New(3)
+	f := dist.NewTruncNormal(0.3, 0.1)
+	ts := Targets(HotspotTargets, f, r, 500)
+	center := f.Quantile(0.5)
+	for _, k := range ts {
+		if !k.Valid() {
+			t.Fatalf("invalid key %v", k)
+		}
+		d := float64(k) - center
+		if d < -0.011 || d > 0.011 {
+			t.Fatalf("hotspot target %v strays from center %v", k, center)
+		}
+	}
+}
+
+func TestTargetKindString(t *testing.T) {
+	if UniformTargets.String() != "uniform" || DataTargets.String() != "data" ||
+		HotspotTargets.String() != "hotspot" {
+		t.Error("kind names wrong")
+	}
+	if TargetKind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestTargetsPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind should panic")
+		}
+	}()
+	Targets(TargetKind(42), dist.Uniform{}, xrand.New(4), 1)
+}
+
+func TestChurnTrace(t *testing.T) {
+	r := xrand.New(5)
+	events := ChurnTrace(10000, 0.7, r)
+	joins := 0
+	for _, e := range events {
+		if e.Kind == Join {
+			joins++
+		}
+	}
+	if joins < 6700 || joins > 7300 {
+		t.Errorf("joins = %d of 10000, want ~7000", joins)
+	}
+}
+
+func TestChurnTracePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid joinFrac should panic")
+		}
+	}()
+	ChurnTrace(10, 1.5, xrand.New(6))
+}
