@@ -4,24 +4,51 @@
 //
 // Usage:
 //
-//	swbench [-scale quick|full] [-seed N] [-exp E1,E7] [-csv]
+//	swbench [-scale quick|full] [-seed N] [-exp E1,E7] [-csv] [-json FILE]
+//
+// -json records every table plus its wall-clock runtime to FILE, the
+// machine-readable baseline format checked in as BENCH_PR<n>.json (see
+// PERFORMANCE.md for the recording workflow).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"smallworld/internal/exp"
 )
 
+// jsonTable is one experiment table plus its runtime, as recorded by
+// -json.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Millis  int64      `json:"millis"`
+}
+
+// jsonBaseline is the top-level -json document.
+type jsonBaseline struct {
+	Scale     string      `json:"scale"`
+	Seed      uint64      `json:"seed"`
+	GoVersion string      `json:"go_version"`
+	MaxProcs  int         `json:"gomaxprocs"`
+	Tables    []jsonTable `json:"tables"`
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	only := flag.String("exp", "", "comma-separated experiment ids (default all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.String("json", "", "also record tables and timings to this JSON file")
 	flag.Parse()
 
 	var scale exp.Scale
@@ -42,6 +69,12 @@ func main() {
 		}
 	}
 
+	baseline := jsonBaseline{
+		Scale:     scale.String(),
+		Seed:      *seed,
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
 	for _, r := range exp.Runners() {
 		if len(want) > 0 && !want[r.ID] {
 			continue
@@ -55,5 +88,25 @@ func main() {
 			fmt.Println(table.String())
 		}
 		fmt.Printf("(%s completed in %s at %s scale, seed %d)\n\n", r.ID, elapsed, scale, *seed)
+		baseline.Tables = append(baseline.Tables, jsonTable{
+			ID:      table.ID,
+			Title:   table.Title,
+			Columns: table.Columns,
+			Rows:    table.Rows,
+			Notes:   table.Notes,
+			Millis:  elapsed.Milliseconds(),
+		})
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(baseline, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d tables to %s\n", len(baseline.Tables), *jsonOut)
 	}
 }

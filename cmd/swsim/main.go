@@ -32,11 +32,17 @@ func parseDist(s string) (dist.Distribution, error) {
 		if err != nil {
 			return nil, fmt.Errorf("power needs an exponent: %w", err)
 		}
+		if !(a >= 0 && a < 1) { // rejects NaN too
+			return nil, fmt.Errorf("power exponent %v outside [0,1)", a)
+		}
 		return dist.NewPower(a), nil
 	case "exp":
 		l, err := strconv.ParseFloat(arg, 64)
 		if err != nil {
 			return nil, fmt.Errorf("exp needs a rate: %w", err)
+		}
+		if !(l > 0) { // rejects NaN too
+			return nil, fmt.Errorf("exp rate %v must be positive", l)
 		}
 		return dist.NewTruncExp(l), nil
 	case "normal":
@@ -49,6 +55,9 @@ func parseDist(s string) (dist.Distribution, error) {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("normal needs numeric mu,sigma")
 		}
+		if !(sigma > 0) { // rejects NaN too
+			return nil, fmt.Errorf("normal sigma %v must be positive", sigma)
+		}
 		return dist.NewTruncNormal(mu, sigma), nil
 	case "zipf":
 		parts := strings.Split(arg, ",")
@@ -59,6 +68,9 @@ func parseDist(s string) (dist.Distribution, error) {
 		s2, err2 := strconv.ParseFloat(parts[1], 64)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("zipf needs numeric k,s")
+		}
+		if k < 1 || !(s2 >= 0) { // rejects NaN too
+			return nil, fmt.Errorf("zipf needs k >= 1 and s >= 0")
 		}
 		return dist.NewZipf(k, s2), nil
 	default:

@@ -20,6 +20,29 @@
 //   - internal/exp — the experiment harness regenerating every table in
 //     EXPERIMENTS.md.
 //
+// # Performance core
+//
+// The experiment sweeps route millions of greedy queries over overlays
+// of up to 16k+ peers, so the hot path is deliberately flat:
+//
+//   - graphs freeze into a CSR (compressed sparse row) snapshot after
+//     construction — two flat int32 arrays that routing, BFS and
+//     clustering iterate without pointer chasing (internal/graph);
+//   - the Exact link sampler draws from the literal model distribution
+//     P[v] ∝ measure(u,v)^-r through a Walker alias table over dyadic
+//     measure bands plus an exact rejection step: O(log²N) per node
+//     instead of the naive O(N) cumulative table, with bit-reproducible
+//     builds per (cfg, seed) independent of Workers;
+//   - routing runs through Router scratch buffers
+//     (smallworld.Network.NewRouter) with zero steady-state heap
+//     allocations and topology-specialised inner loops; the experiment
+//     harness holds one Router per worker goroutine.
+//
+// PERFORMANCE.md documents the layout, the sampler's correctness
+// argument, the micro-benchmarks (run `go test -bench . -benchtime 10x`;
+// they report allocs/op), and how to record an experiment baseline with
+// `go run ./cmd/swbench -json BENCH_PR1.json`.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and the
 // experiment index, and EXPERIMENTS.md for paper-claim-vs-measured
 // results. The benchmarks in bench_test.go regenerate every experiment

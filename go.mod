@@ -1,0 +1,3 @@
+module smallworld
+
+go 1.24

@@ -21,32 +21,19 @@ func routeHops(nw *smallworld.Network, seed uint64, queries int) []float64 {
 		pairs[i] = [2]int{rng.Intn(nw.N()), rng.Intn(nw.N())}
 	}
 	hops := make([]float64, queries)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (queries + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > queries {
-			hi = queries
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				rt := nw.RouteToNode(pairs[i][0], pairs[i][1])
-				if rt.Arrived {
-					hops[i] = float64(rt.Hops())
-				} else {
-					hops[i] = float64(nw.N())
-				}
+	routeChunks(len(pairs), func(lo, hi int) {
+		// One router per worker: the whole chunk routes with zero
+		// steady-state allocations.
+		router := nw.NewRouter()
+		for i := lo; i < hi; i++ {
+			rt := router.RouteToNode(pairs[i][0], pairs[i][1])
+			if rt.Arrived {
+				hops[i] = float64(rt.Hops())
+			} else {
+				hops[i] = float64(nw.N())
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return hops
 }
 
@@ -58,14 +45,31 @@ func routeHopsToKeys(nw *smallworld.Network, seed uint64, targets []keyspace.Key
 		srcs[i] = rng.Intn(nw.N())
 	}
 	hops := make([]float64, len(targets))
+	routeChunks(len(targets), func(lo, hi int) {
+		router := nw.NewRouter()
+		for i := lo; i < hi; i++ {
+			rt := router.RouteGreedy(srcs[i], targets[i])
+			if rt.Arrived {
+				hops[i] = float64(rt.Hops())
+			} else {
+				hops[i] = float64(nw.N())
+			}
+		}
+	})
+	return hops
+}
+
+// routeChunks splits [0, n) into one contiguous chunk per GOMAXPROCS
+// worker and runs them concurrently.
+func routeChunks(n int, run func(lo, hi int)) {
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
-	chunk := (len(targets) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(targets) {
-			hi = len(targets)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			break
@@ -73,18 +77,10 @@ func routeHopsToKeys(nw *smallworld.Network, seed uint64, targets []keyspace.Key
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				rt := nw.RouteGreedy(srcs[i], targets[i])
-				if rt.Arrived {
-					hops[i] = float64(rt.Hops())
-				} else {
-					hops[i] = float64(nw.N())
-				}
-			}
+			run(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return hops
 }
 
 // log2 is a float shorthand.

@@ -3,16 +3,26 @@
 // connectivity, clustering coefficients, and degree/path-length summaries.
 // Overlay networks in the paper are directed graphs G = (P, E) whose
 // edges are routing-table entries, so all analysis here is directed.
+//
+// Two representations split the lifecycle. Graph is the mutable builder
+// used during construction and failure injection: adjacency rows are kept
+// sorted so membership tests are binary searches rather than linear
+// scans, and AddEdges offers a bulk sort/dedup insertion path. Freeze
+// converts a finished Graph into a CSR (compressed sparse row) snapshot —
+// two flat arrays — which every hot path (routing, BFS, clustering)
+// iterates without pointer chasing; see csr.go.
 package graph
 
 import (
 	"fmt"
+	"sort"
 
 	"smallworld/internal/metrics"
 	"smallworld/internal/xrand"
 )
 
-// Graph is a directed graph over nodes 0..N-1 with adjacency lists.
+// Graph is a mutable directed graph over nodes 0..N-1. Each adjacency row
+// is kept sorted ascending and free of duplicates.
 type Graph struct {
 	adj   [][]int32
 	edges int
@@ -33,16 +43,63 @@ func (g *Graph) N() int { return len(g.adj) }
 func (g *Graph) M() int { return g.edges }
 
 // AddEdge inserts the directed edge u -> v if it is not already present
-// and is not a self-loop; it reports whether an edge was added.
+// and is not a self-loop; it reports whether an edge was added. The row
+// stays sorted: position by binary search, O(log d) compare + O(d) move.
 func (g *Graph) AddEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
-	if u == v || g.HasEdge(u, v) {
+	if u == v {
 		return false
 	}
-	g.adj[u] = append(g.adj[u], int32(v))
+	row := g.adj[u]
+	i := searchInt32(row, int32(v))
+	if i < len(row) && row[i] == int32(v) {
+		return false
+	}
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = int32(v)
+	g.adj[u] = row
 	g.edges++
 	return true
+}
+
+// AddEdges bulk-inserts the directed edges u -> v for every v in vs,
+// skipping self-loops and duplicates, and reports how many edges were
+// added. The input is appended, sorted and deduplicated in one pass —
+// the fast path for installing a node's whole link set at once.
+func (g *Graph) AddEdges(u int, vs []int32) int {
+	g.check(u)
+	if len(vs) == 0 {
+		return 0
+	}
+	row := g.adj[u]
+	before := len(row)
+	for _, v := range vs {
+		g.check(int(v))
+		if int(v) != u {
+			row = append(row, v)
+		}
+	}
+	if len(row) > before {
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		row = dedupSorted(row)
+	}
+	g.adj[u] = row
+	g.edges += len(row) - before
+	return len(row) - before
+}
+
+// dedupSorted removes adjacent duplicates from a sorted row in place.
+func dedupSorted(row []int32) []int32 {
+	w := 0
+	for i, v := range row {
+		if i == 0 || v != row[w-1] {
+			row[w] = v
+			w++
+		}
+	}
+	return row[:w]
 }
 
 // RemoveEdge deletes the directed edge u -> v; it reports whether the
@@ -50,29 +107,41 @@ func (g *Graph) AddEdge(u, v int) bool {
 func (g *Graph) RemoveEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
-	for i, w := range g.adj[u] {
-		if int(w) == v {
-			g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
-			g.edges--
-			return true
-		}
+	row := g.adj[u]
+	i := searchInt32(row, int32(v))
+	if i >= len(row) || row[i] != int32(v) {
+		return false
 	}
-	return false
+	g.adj[u] = append(row[:i], row[i+1:]...)
+	g.edges--
+	return true
 }
 
-// HasEdge reports whether the directed edge u -> v exists.
+// HasEdge reports whether the directed edge u -> v exists (binary search
+// on the sorted row).
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)
-	for _, w := range g.adj[u] {
-		if int(w) == v {
-			return true
-		}
-	}
-	return false
+	row := g.adj[u]
+	i := searchInt32(row, int32(v))
+	return i < len(row) && row[i] == int32(v)
 }
 
-// Out returns the out-neighbour list of u. The returned slice aliases the
-// graph's storage and must not be modified.
+// searchInt32 returns the insertion index of v in the sorted row.
+func searchInt32(row []int32, v int32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Out returns the out-neighbour list of u in ascending order. The
+// returned slice aliases the graph's storage and must not be modified.
 func (g *Graph) Out(u int) []int32 {
 	g.check(u)
 	return g.adj[u]
@@ -100,32 +169,27 @@ func (g *Graph) check(u int) {
 	}
 }
 
-// BFS returns hop distances from src to every node (-1 if unreachable).
-func (g *Graph) BFS(src int) []int {
-	g.check(src)
-	dist := make([]int, g.N())
-	for i := range dist {
-		dist[i] = -1
+// Freeze snapshots g into an immutable CSR form: all adjacency rows
+// concatenated into one flat target array with per-node offsets. Rows
+// are already sorted and deduplicated, so freezing is a single copy.
+// Later mutations of g do not affect the returned CSR.
+func (g *Graph) Freeze() *CSR {
+	n := g.N()
+	c := &CSR{
+		offsets: make([]int32, n+1),
+		targets: make([]int32, 0, g.edges),
 	}
-	dist[src] = 0
-	queue := make([]int32, 0, g.N())
-	queue = append(queue, int32(src))
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if dist[v] == -1 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
-		}
+	for u, row := range g.adj {
+		c.offsets[u+1] = c.offsets[u] + int32(len(row))
+		c.targets = append(c.targets, row...)
 	}
-	return dist
+	return c
 }
 
 // Reverse returns the graph with every edge direction flipped.
 func (g *Graph) Reverse() *Graph {
 	r := New(g.N())
+	// Appending u in ascending order keeps every reversed row sorted.
 	for u, ns := range g.adj {
 		for _, v := range ns {
 			r.adj[v] = append(r.adj[v], int32(u))
@@ -135,85 +199,40 @@ func (g *Graph) Reverse() *Graph {
 	return r
 }
 
-// StronglyConnected reports whether every node can reach every other node.
-// It runs forward and reverse BFS from node 0 (Kosaraju-style check),
-// which is exact for strong connectivity. An empty graph is connected;
-// a single node is connected.
-func (g *Graph) StronglyConnected() bool {
-	if g.N() <= 1 {
-		return true
-	}
-	for _, d := range g.BFS(0) {
-		if d == -1 {
-			return false
-		}
-	}
-	for _, d := range g.Reverse().BFS(0) {
-		if d == -1 {
-			return false
-		}
-	}
-	return true
+// The analysis entry points delegate to the flat CSR iteration: freezing
+// is O(N+M), the same order as any of these traversals, and the flat
+// form is what the traversals are optimised for.
+
+// BFS returns hop distances from src to every node (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	return g.Freeze().BFS(src)
 }
 
-// DegreeStats summarises the out-degree distribution.
+// StronglyConnected reports whether every node can reach every other
+// node.
+func (g *Graph) StronglyConnected() bool {
+	return g.Freeze().StronglyConnected()
+}
+
+// DegreeStats summarises the out-degree distribution. Unlike the
+// traversals below there is nothing to gain from the flat form, so it
+// reads the builder rows directly.
 func (g *Graph) DegreeStats() metrics.Summary {
 	var s metrics.Summary
-	for u := 0; u < g.N(); u++ {
-		s.Add(float64(len(g.adj[u])))
+	for _, row := range g.adj {
+		s.Add(float64(len(row)))
 	}
 	return s
 }
 
-// ClusteringCoefficient returns the mean local clustering coefficient:
-// for each node with at least two out-neighbours, the fraction of ordered
-// neighbour pairs (v,w) with an edge v -> w. Nodes with fewer than two
-// out-neighbours contribute zero (Watts–Strogatz convention).
+// ClusteringCoefficient returns the mean local clustering coefficient.
 func (g *Graph) ClusteringCoefficient() float64 {
-	if g.N() == 0 {
-		return 0
-	}
-	var total float64
-	for u := 0; u < g.N(); u++ {
-		ns := g.adj[u]
-		k := len(ns)
-		if k < 2 {
-			continue
-		}
-		links := 0
-		for _, v := range ns {
-			for _, w := range ns {
-				if v != w && g.HasEdge(int(v), int(w)) {
-					links++
-				}
-			}
-		}
-		total += float64(links) / float64(k*(k-1))
-	}
-	return total / float64(g.N())
+	return g.Freeze().ClusteringCoefficient()
 }
 
-// PathLengthStats estimates the shortest-path-length distribution by
-// running BFS from `samples` random sources and aggregating distances to
-// all reachable nodes. It also reports the largest distance seen
-// (a lower bound on the diameter).
-func (g *Graph) PathLengthStats(r *xrand.Stream, samples int) (s metrics.Summary, maxDist int) {
-	if g.N() == 0 || samples <= 0 {
-		return
-	}
-	if samples > g.N() {
-		samples = g.N()
-	}
-	for _, src := range r.Perm(g.N())[:samples] {
-		for v, d := range g.BFS(src) {
-			if d <= 0 || v == src {
-				continue
-			}
-			s.Add(float64(d))
-			if d > maxDist {
-				maxDist = d
-			}
-		}
-	}
-	return
+// PathLengthStats estimates the shortest-path-length distribution from
+// `samples` random BFS sources.
+func (g *Graph) PathLengthStats(r *xrand.Stream, samples int) (metrics.Summary, int) {
+	return g.Freeze().PathLengthStats(r, samples)
 }

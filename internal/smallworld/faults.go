@@ -82,7 +82,7 @@ func (nw *Network) RouteGreedyAvoiding(src int, target keyspace.Key, fs *FailSet
 		}
 		best, bestD := -1, dCur
 		bestKey := nw.keys[cur]
-		for _, v := range nw.g.Out(cur) {
+		for _, v := range nw.csr.Out(cur) {
 			if fs.Dead(int(v)) {
 				continue
 			}
@@ -157,7 +157,7 @@ func (nw *Network) RouteBacktracking(src int, target keyspace.Key, fs *FailSet) 
 // ascending order of distance to the target (greedy preference order).
 func (nw *Network) orderedLiveCandidates(u int, target keyspace.Key, fs *FailSet, visited map[int]bool) []int32 {
 	topo := nw.cfg.Topology
-	out := nw.g.Out(u)
+	out := nw.csr.Out(u)
 	cands := make([]int32, 0, len(out))
 	for _, v := range out {
 		if !fs.Dead(int(v)) && !visited[int(v)] {

@@ -17,10 +17,14 @@ type Network struct {
 	cfg  Config
 	keys keyspace.Points // sorted identifiers
 	norm []float64       // norm[i] = F(keys[i]), the image of node i in R'
-	g    *graph.Graph    // neighbour + long-range edges
+	mpos []float64       // measure-space positions: norm (Mass) or keys (Geometric)
+	g    *graph.Graph    // mutable adjacency — kept for failure injection/analysis
+	csr  *graph.CSR      // frozen flat adjacency — every routing hot path reads this
 	long [][]int32       // long-range targets per node (subset of g)
 
 	shortfall int // long-range links that could not be placed
+
+	routers sync.Pool // *Router scratch for the allocating convenience API
 }
 
 // Build constructs the overlay described by cfg. The same cfg and seed
@@ -30,6 +34,21 @@ func Build(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	var smp sampler
+	switch cfg.Sampler {
+	case Exact:
+		smp = exactSampler{}
+	case Protocol:
+		smp = protocolSampler{}
+	default:
+		return nil, fmt.Errorf("smallworld: unknown sampler %v", cfg.Sampler)
+	}
+	return build(cfg, smp)
+}
+
+// build runs the construction with an explicit sampler implementation
+// (tests and benchmarks inject naiveExactSampler here).
+func build(cfg Config, smp sampler) (*Network, error) {
 	master := xrand.New(cfg.Seed)
 
 	keys, err := placeKeys(cfg, master)
@@ -46,6 +65,17 @@ func Build(cfg Config) (*Network, error) {
 	for i, k := range keys {
 		nw.norm[i] = cfg.Dist.CDF(float64(k))
 	}
+	// Measure-space positions: ascending in node order for both measures
+	// (keys are sorted; the CDF is monotone). The exact sampler's band
+	// searches index into this array.
+	if cfg.Measure == Mass {
+		nw.mpos = nw.norm
+	} else {
+		nw.mpos = make([]float64, cfg.N)
+		for i, k := range keys {
+			nw.mpos[i] = float64(k)
+		}
+	}
 	nw.addNeighborEdges()
 
 	// Derive one deterministic seed per node before fanning out, so the
@@ -59,25 +89,16 @@ func Build(cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("smallworld: negative degree %d", degree)
 	}
 
-	var smp sampler
-	switch cfg.Sampler {
-	case Exact:
-		smp = exactSampler{}
-	case Protocol:
-		smp = protocolSampler{}
-	default:
-		return nil, fmt.Errorf("smallworld: unknown sampler %v", cfg.Sampler)
-	}
-
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := &samplerScratch{} // per-worker scratch, reused across nodes
 			for u := range work {
 				rng := xrand.New(seeds[u])
-				nw.long[u] = smp.sampleLinks(nw, u, degree, rng)
+				nw.long[u] = smp.sampleLinks(nw, u, degree, rng, sc)
 			}
 		}()
 	}
@@ -88,11 +109,10 @@ func Build(cfg Config) (*Network, error) {
 	wg.Wait()
 
 	for u := 0; u < cfg.N; u++ {
-		for _, v := range nw.long[u] {
-			nw.g.AddEdge(u, int(v))
-		}
+		nw.g.AddEdges(u, nw.long[u])
 		nw.shortfall += degree - len(nw.long[u])
 	}
+	nw.csr = nw.g.Freeze()
 	return nw, nil
 }
 
@@ -201,6 +221,11 @@ func (nw *Network) Norm(u int) float64 { return nw.norm[u] }
 // mutate it.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
 
+// CSR returns the frozen compressed-sparse-row snapshot of the overlay
+// graph — the flat adjacency every routing hot path iterates. It must
+// not be modified.
+func (nw *Network) CSR() *graph.CSR { return nw.csr }
+
 // LongRange returns node u's long-range targets. The slice must not be
 // modified.
 func (nw *Network) LongRange(u int) []int32 { return nw.long[u] }
@@ -230,6 +255,7 @@ func (nw *Network) WithFailedLinks(r *xrand.Stream, frac float64) *Network {
 		cfg:  nw.cfg,
 		keys: nw.keys,
 		norm: nw.norm,
+		mpos: nw.mpos,
 		g:    nw.g.Clone(),
 		long: make([][]int32, nw.cfg.N),
 	}
@@ -242,5 +268,6 @@ func (nw *Network) WithFailedLinks(r *xrand.Stream, frac float64) *Network {
 			}
 		}
 	}
+	derived.csr = derived.g.Freeze()
 	return derived
 }

@@ -6,7 +6,9 @@ import (
 
 // Route records one greedy routing attempt.
 type Route struct {
-	// Path lists the visited node indices, starting at the source.
+	// Path lists the visited node indices, starting at the source. Routes
+	// obtained from a Router alias the router's scratch buffer; routes
+	// from the Network-level convenience methods own their path.
 	Path []int
 	// Arrived reports whether the route terminated at a node whose
 	// distance to the target equals the minimum over the whole network
@@ -42,38 +44,32 @@ func better(topo keyspace.Topology, curKey, vKey, target keyspace.Key, dv, dCur 
 	return dv == dCur && topo.Advances(curKey, vKey, target)
 }
 
-// RouteGreedy routes a request from node src to the peer responsible for
-// target using greedy distance-minimising routing: each hop forwards to
-// the out-neighbour closest to the target, stopping when no out-neighbour
-// improves on the current node (Section 3's routing rule). With intact
-// neighbouring edges the stopping node is exactly the network-closest
-// node to the target.
+// RouteGreedy is the allocating convenience form of Router.RouteGreedy:
+// it borrows a pooled router and returns a route whose path the caller
+// owns. Hot loops that route millions of queries should hold a Router
+// per goroutine instead (zero steady-state allocations).
 func (nw *Network) RouteGreedy(src int, target keyspace.Key) Route {
-	topo := nw.cfg.Topology
-	cur := src
-	path := []int{src}
-	guard := maxHopsFor(nw.cfg.N)
-	dCur := topo.Distance(nw.keys[cur], target)
-	for hops := 0; ; hops++ {
-		if hops >= guard {
-			return Route{Path: path, Truncated: true}
-		}
-		best, bestD := -1, dCur
-		bestKey := nw.keys[cur]
-		for _, v := range nw.g.Out(cur) {
-			vKey := nw.keys[v]
-			d := topo.Distance(vKey, target)
-			if better(topo, bestKey, vKey, target, d, bestD) {
-				best, bestD, bestKey = int(v), d, vKey
-			}
-		}
-		if best == -1 {
-			break
-		}
-		cur, dCur = best, bestD
-		path = append(path, cur)
-	}
-	return Route{Path: path, Arrived: nw.isNearest(cur, target)}
+	r := nw.router()
+	rt := r.RouteGreedy(src, target)
+	rt.Path = append([]int(nil), rt.Path...)
+	nw.routers.Put(r)
+	return rt
+}
+
+// RouteGreedyNoN is the allocating convenience form of
+// Router.RouteGreedyNoN; see RouteGreedy for the ownership contract.
+func (nw *Network) RouteGreedyNoN(src int, target keyspace.Key) Route {
+	r := nw.router()
+	rt := r.RouteGreedyNoN(src, target)
+	rt.Path = append([]int(nil), rt.Path...)
+	nw.routers.Put(r)
+	return rt
+}
+
+// RouteToNode is a convenience wrapper routing to another node's
+// identifier.
+func (nw *Network) RouteToNode(src, dst int) Route {
+	return nw.RouteGreedy(src, nw.keys[dst])
 }
 
 // isNearest reports whether node u is at the minimal distance to target
@@ -82,61 +78,4 @@ func (nw *Network) isNearest(u int, target keyspace.Key) bool {
 	c := nw.ClosestNode(target)
 	topo := nw.cfg.Topology
 	return topo.Distance(nw.keys[u], target) <= topo.Distance(nw.keys[c], target)
-}
-
-// RouteGreedyNoN routes with one-hop lookahead ("know thy neighbour's
-// neighbour", Manku et al., STOC 2004 — the paper's reference [10]):
-// each decision inspects neighbours and neighbours-of-neighbours, moves
-// to the best second-hop node via its intermediary, and falls back to
-// plain greedy steps when lookahead stops improving. It demonstrates the
-// paper's remark that randomized small-world topologies admit
-// better-than-greedy routing without changing the graph.
-func (nw *Network) RouteGreedyNoN(src int, target keyspace.Key) Route {
-	topo := nw.cfg.Topology
-	cur := src
-	path := []int{src}
-	guard := maxHopsFor(nw.cfg.N)
-	dCur := topo.Distance(nw.keys[cur], target)
-	for len(path) < guard {
-		// Best direct neighbour (with the plateau tie-break).
-		best1, bestD1 := -1, dCur
-		bestKey1 := nw.keys[cur]
-		for _, v := range nw.g.Out(cur) {
-			vKey := nw.keys[v]
-			d := topo.Distance(vKey, target)
-			if better(topo, bestKey1, vKey, target, d, bestD1) {
-				best1, bestD1, bestKey1 = int(v), d, vKey
-			}
-		}
-		// Best two-hop destination and its intermediary (strict
-		// improvement only; the plateau case is handled by best1).
-		best2, via, bestD2 := -1, -1, dCur
-		for _, v := range nw.g.Out(cur) {
-			for _, w := range nw.g.Out(int(v)) {
-				if int(w) == cur {
-					continue
-				}
-				if d := topo.Distance(nw.keys[w], target); d < bestD2 {
-					best2, via, bestD2 = int(w), int(v), d
-				}
-			}
-		}
-		switch {
-		case best2 != -1 && bestD2 < bestD1:
-			path = append(path, via, best2)
-			cur, dCur = best2, bestD2
-		case best1 != -1:
-			path = append(path, best1)
-			cur, dCur = best1, bestD1
-		default:
-			return Route{Path: path, Arrived: nw.isNearest(cur, target)}
-		}
-	}
-	return Route{Path: path, Truncated: true}
-}
-
-// RouteToNode is a convenience wrapper routing to another node's
-// identifier.
-func (nw *Network) RouteToNode(src, dst int) Route {
-	return nw.RouteGreedy(src, nw.keys[dst])
 }

@@ -116,9 +116,11 @@ func (nw *Network) RouteGreedy(src, dst int) (hops int, arrived bool) {
 
 // Stats reports the two structural small-world measures of the original
 // paper: mean clustering coefficient and mean shortest-path length
-// (sampled over `samples` BFS sources).
+// (sampled over `samples` BFS sources). The graph is frozen to its flat
+// CSR form once and both traversals iterate that.
 func (nw *Network) Stats(r *xrand.Stream, samples int) (clustering, meanPath float64) {
-	clustering = nw.g.ClusteringCoefficient()
-	s, _ := nw.g.PathLengthStats(r, samples)
+	csr := nw.g.Freeze()
+	clustering = csr.ClusteringCoefficient()
+	s, _ := csr.PathLengthStats(r, samples)
 	return clustering, s.Mean()
 }
