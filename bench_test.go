@@ -4,11 +4,11 @@ import (
 	"strconv"
 	"testing"
 
-	"smallworld/internal/dist"
+	"smallworld"
+	"smallworld/dist"
 	"smallworld/internal/exp"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld/keyspace"
+	"smallworld/xrand"
 )
 
 // Experiment benches: each regenerates one table of EXPERIMENTS.md at

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	swbench [-scale quick|full] [-seed N] [-exp E1,E7] [-csv] [-json FILE]
+//	swbench -topology chord [-scale quick|full] [-seed N] [-csv] [-json FILE]
+//	swbench -list
+//
+// -topology switches from the experiment tables to the registry-driven
+// benchmark: build the named overlay through overlaynet.Build across the
+// scale's size sweep and route a QueryRunner batch at each size. -list
+// prints the registered topology names.
 //
 // -json records every table plus its wall-clock runtime to FILE, the
 // machine-readable baseline format checked in as BENCH_PR<n>.json (see
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"smallworld/internal/exp"
+	"smallworld/overlaynet"
 )
 
 // jsonTable is one experiment table plus its runtime, as recorded by
@@ -47,9 +55,19 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	only := flag.String("exp", "", "comma-separated experiment ids (default all)")
+	topology := flag.String("topology", "", "benchmark one registered topology instead of the experiment tables")
+	list := flag.Bool("list", false, "print registered topologies and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.String("json", "", "also record tables and timings to this JSON file")
 	flag.Parse()
+
+	if *list {
+		for _, name := range overlaynet.Names() {
+			info, _ := overlaynet.Lookup(name)
+			fmt.Printf("%-20s %s\n", name, info.Description)
+		}
+		return
+	}
 
 	var scale exp.Scale
 	switch *scaleFlag {
@@ -69,13 +87,34 @@ func main() {
 		}
 	}
 
+	runners := exp.Runners()
+	if *topology != "" {
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "swbench: -topology and -exp are mutually exclusive")
+			os.Exit(2)
+		}
+		if _, ok := overlaynet.Lookup(*topology); !ok {
+			fmt.Fprintf(os.Stderr, "swbench: unknown topology %q (have: %s)\n",
+				*topology, strings.Join(overlaynet.Names(), ", "))
+			os.Exit(2)
+		}
+		name := *topology
+		runners = []exp.Runner{{
+			ID:   "T0",
+			Name: "registry topology benchmark (" + name + ")",
+			Run: func(scale exp.Scale, seed uint64) exp.Table {
+				return exp.TopologyBench(name, scale, seed)
+			},
+		}}
+	}
+
 	baseline := jsonBaseline{
 		Scale:     scale.String(),
 		Seed:      *seed,
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
 	}
-	for _, r := range exp.Runners() {
+	for _, r := range runners {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}

@@ -1,165 +1,120 @@
-// Command swsim builds one small-world overlay and reports its routing
-// behaviour — the interactive companion to swbench.
+// Command swsim builds one overlay and reports its routing behaviour —
+// the interactive companion to swbench. Topologies are selected by
+// registry name from the unified overlaynet API, so every overlay in the
+// repository (the paper's two models, Kleinberg, Watts–Strogatz, and the
+// DHT baselines) is reachable from one flag.
 //
 // Usage:
 //
-//	swsim [-n 4096] [-dist uniform|power:0.8|exp:8|normal:0.5,0.1|zipf:256,1] \
-//	      [-measure mass|geometric] [-sampler protocol|exact] [-degree 0=log2N] \
-//	      [-topology ring|line] [-queries 2000] [-seed 1] [-fail 0.5] [-verbose]
+//	swsim -list
+//	swsim [-topology smallworld-skewed] [-n 4096] \
+//	      [-dist uniform|power:0.8|exp:8|normal:0.5,0.1|zipf:256,1] \
+//	      [-keyspace ring|line] [-sampler protocol|exact] \
+//	      [-degree 0=default] [-exponent 0=1] [-queries 2000] [-seed 1] \
+//	      [-fail 0.5] [-verbose]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/overlaynet"
 )
 
-func parseDist(s string) (dist.Distribution, error) {
-	name, arg, _ := strings.Cut(s, ":")
-	switch name {
-	case "uniform":
-		return dist.Uniform{}, nil
-	case "power":
-		a, err := strconv.ParseFloat(arg, 64)
-		if err != nil {
-			return nil, fmt.Errorf("power needs an exponent: %w", err)
-		}
-		if !(a >= 0 && a < 1) { // rejects NaN too
-			return nil, fmt.Errorf("power exponent %v outside [0,1)", a)
-		}
-		return dist.NewPower(a), nil
-	case "exp":
-		l, err := strconv.ParseFloat(arg, 64)
-		if err != nil {
-			return nil, fmt.Errorf("exp needs a rate: %w", err)
-		}
-		if !(l > 0) { // rejects NaN too
-			return nil, fmt.Errorf("exp rate %v must be positive", l)
-		}
-		return dist.NewTruncExp(l), nil
-	case "normal":
-		parts := strings.Split(arg, ",")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("normal needs mu,sigma")
-		}
-		mu, err1 := strconv.ParseFloat(parts[0], 64)
-		sigma, err2 := strconv.ParseFloat(parts[1], 64)
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("normal needs numeric mu,sigma")
-		}
-		if !(sigma > 0) { // rejects NaN too
-			return nil, fmt.Errorf("normal sigma %v must be positive", sigma)
-		}
-		return dist.NewTruncNormal(mu, sigma), nil
-	case "zipf":
-		parts := strings.Split(arg, ",")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("zipf needs k,s")
-		}
-		k, err1 := strconv.Atoi(parts[0])
-		s2, err2 := strconv.ParseFloat(parts[1], 64)
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("zipf needs numeric k,s")
-		}
-		if k < 1 || !(s2 >= 0) { // rejects NaN too
-			return nil, fmt.Errorf("zipf needs k >= 1 and s >= 0")
-		}
-		return dist.NewZipf(k, s2), nil
-	default:
-		return nil, fmt.Errorf("unknown distribution %q", name)
-	}
-}
-
 func main() {
+	list := flag.Bool("list", false, "print registered topologies and exit")
+	topology := flag.String("topology", "smallworld-skewed", "overlay topology (registry name; see -list)")
 	n := flag.Int("n", 4096, "number of peers")
 	distFlag := flag.String("dist", "uniform", "identifier distribution")
-	measure := flag.String("measure", "mass", "link weight measure: mass or geometric")
-	sampler := flag.String("sampler", "protocol", "link sampler: protocol or exact")
-	degree := flag.Int("degree", 0, "long links per peer (0 = log2 N)")
-	topo := flag.String("topology", "ring", "key space topology: ring or line")
+	keyspaceFlag := flag.String("keyspace", "ring", "key space geometry for the small-world family: ring or line")
+	sampler := flag.String("sampler", "protocol", "small-world link sampler: protocol or exact")
+	degree := flag.Int("degree", 0, "long links per peer (0 = topology default)")
+	exponent := flag.Float64("exponent", 0, "link-selection exponent r (0 = harmonic)")
 	queries := flag.Int("queries", 2000, "number of random lookups")
 	seed := flag.Uint64("seed", 1, "random seed")
 	fail := flag.Float64("fail", 0, "fraction of long links to fail before routing")
-	verbose := flag.Bool("verbose", false, "print per-partition link histogram")
+	verbose := flag.Bool("verbose", false, "print per-partition link histogram (small-world family)")
 	flag.Parse()
+
+	if *list {
+		for _, name := range overlaynet.Names() {
+			info, _ := overlaynet.Lookup(name)
+			fmt.Printf("%-20s %s\n", name, info.Description)
+		}
+		return
+	}
 
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "swsim: %v\n", err)
 		os.Exit(1)
 	}
 
-	d, err := parseDist(*distFlag)
+	d, err := dist.Parse(*distFlag)
 	if err != nil {
 		die(err)
 	}
-	cfg := smallworld.Config{N: *n, Dist: d, Seed: *seed}
-	switch *measure {
-	case "mass":
-		cfg.Measure = smallworld.Mass
-	case "geometric":
-		cfg.Measure = smallworld.Geometric
-	default:
-		die(fmt.Errorf("unknown measure %q", *measure))
+	opts := overlaynet.Options{
+		N:        *n,
+		Seed:     *seed,
+		Dist:     d,
+		Degree:   *degree,
+		Exponent: *exponent,
+		Sampler:  *sampler,
 	}
-	switch *sampler {
-	case "protocol":
-		cfg.Sampler = smallworld.Protocol
-	case "exact":
-		cfg.Sampler = smallworld.Exact
-	default:
-		die(fmt.Errorf("unknown sampler %q", *sampler))
-	}
-	switch *topo {
+	switch *keyspaceFlag {
 	case "ring":
-		cfg.Topology = keyspace.Ring
+		opts.Topology = keyspace.Ring
 	case "line":
-		cfg.Topology = keyspace.Line
+		opts.Topology = keyspace.Line
 	default:
-		die(fmt.Errorf("unknown topology %q", *topo))
-	}
-	if *degree > 0 {
-		cfg.Degree = smallworld.ConstDegree(*degree)
+		die(fmt.Errorf("unknown keyspace %q", *keyspaceFlag))
 	}
 
-	nw, err := smallworld.Build(cfg)
+	ctx := context.Background()
+	ov, err := overlaynet.Build(ctx, *topology, opts)
 	if err != nil {
 		die(err)
 	}
 	if *fail > 0 {
-		nw = nw.WithFailedLinks(xrand.New(*seed+1), *fail)
-	}
-
-	deg := nw.Graph().DegreeStats()
-	fmt.Printf("network: n=%d dist=%s measure=%s sampler=%s topology=%s\n",
-		nw.N(), d.Name(), cfg.Measure, cfg.Sampler, cfg.Topology)
-	fmt.Printf("edges: %d (out-degree mean %.2f max %.0f), shortfall %d\n",
-		nw.Graph().M(), deg.Mean(), deg.Max(), nw.Shortfall())
-
-	rng := xrand.New(*seed + 2)
-	hops := make([]float64, 0, *queries)
-	arrived := 0
-	for i := 0; i < *queries; i++ {
-		rt := nw.RouteToNode(rng.Intn(nw.N()), rng.Intn(nw.N()))
-		if rt.Arrived {
-			arrived++
+		fi, ok := ov.(overlaynet.FaultInjector)
+		if !ok {
+			die(fmt.Errorf("topology %q does not support link failure injection", *topology))
 		}
-		hops = append(hops, float64(rt.Hops()))
+		if ov, err = fi.FailLinks(*seed+1, *fail); err != nil {
+			die(err)
+		}
 	}
-	fmt.Printf("lookups: %d, arrived %.1f%%\n", *queries, 100*float64(arrived)/float64(*queries))
+
+	stats := ov.Stats()
+	fmt.Printf("network: topology=%s n=%d dist=%s seed=%d\n", ov.Kind(), ov.N(), d.Name(), *seed)
+	fmt.Printf("state: %s\n", stats)
+
+	qr := overlaynet.NewQueryRunner(ov, overlaynet.FailHops(float64(ov.N())))
+	batch, err := qr.Run(ctx, overlaynet.RandomPairs(ov, *seed+2, *queries))
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("lookups: %d, arrived %.1f%%\n", batch.Executed,
+		100*float64(batch.Arrived)/float64(batch.Executed))
 	fmt.Printf("hops: mean %.2f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n",
-		metrics.Mean(hops),
-		metrics.Percentile(hops, 0.5), metrics.Percentile(hops, 0.95),
-		metrics.Percentile(hops, 0.99), metrics.Percentile(hops, 1))
+		metrics.Mean(batch.Hops),
+		metrics.Percentile(batch.Hops, 0.5), metrics.Percentile(batch.Hops, 0.95),
+		metrics.Percentile(batch.Hops, 0.99), metrics.Percentile(batch.Hops, 1))
 
 	if *verbose {
+		sw, ok := ov.(interface{ Network() *smallworld.Network })
+		if !ok {
+			fmt.Printf("\n(-verbose histogram needs a small-world topology)\n")
+			return
+		}
+		nw := sw.Network()
 		fmt.Println("\nlong-range links per doubling partition (normalised space):")
 		counts := nw.LinkPartitionCounts()
 		total := 0

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Distribution from its flag syntax, the format shared by
+// cmd/swsim and cmd/swbench:
+//
+//	uniform
+//	power:A          0 <= A < 1
+//	exp:L            L > 0
+//	normal:MU,SIGMA  SIGMA > 0
+//	zipf:K,S         K >= 1, S >= 0
+//
+// The names match Distribution.Name up to argument formatting.
+func Parse(s string) (Distribution, error) {
+	name, arg, _ := strings.Cut(s, ":")
+	switch name {
+	case "uniform":
+		return Uniform{}, nil
+	case "power":
+		a, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("power needs an exponent: %w", err)
+		}
+		if !(a >= 0 && a < 1) { // rejects NaN too
+			return nil, fmt.Errorf("power exponent %v outside [0,1)", a)
+		}
+		return NewPower(a), nil
+	case "exp":
+		l, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("exp needs a rate: %w", err)
+		}
+		if !(l > 0) { // rejects NaN too
+			return nil, fmt.Errorf("exp rate %v must be positive", l)
+		}
+		return NewTruncExp(l), nil
+	case "normal":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("normal needs mu,sigma")
+		}
+		mu, err1 := strconv.ParseFloat(parts[0], 64)
+		sigma, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("normal needs numeric mu,sigma")
+		}
+		if !(sigma > 0) { // rejects NaN too
+			return nil, fmt.Errorf("normal sigma %v must be positive", sigma)
+		}
+		return NewTruncNormal(mu, sigma), nil
+	case "zipf":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("zipf needs k,s")
+		}
+		k, err1 := strconv.Atoi(parts[0])
+		s2, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("zipf needs numeric k,s")
+		}
+		if k < 1 || !(s2 >= 0) { // rejects NaN too
+			return nil, fmt.Errorf("zipf needs k >= 1 and s >= 0")
+		}
+		return NewZipf(k, s2), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}

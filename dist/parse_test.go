@@ -1,0 +1,42 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+	}{
+		{"uniform", "uniform"},
+		{"power:0.8", "power(0.8)"},
+		{"exp:8", "truncexp(8)"},
+		{"normal:0.5,0.1", "truncnormal(0.5,0.1)"},
+		{"zipf:256,1", "zipf(256,1)"},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if d.Name() != c.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.in, d.Name(), c.name)
+		}
+		if cdf := d.CDF(1); math.Abs(cdf-1) > 1e-12 {
+			t.Errorf("Parse(%q).CDF(1) = %v, want 1", c.in, cdf)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, in := range []string{
+		"", "nope", "power:", "power:1", "power:NaN", "exp:0", "exp:-1",
+		"normal:0.5", "normal:0.5,0", "zipf:0,1", "zipf:1,-1", "zipf:1,NaN",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", in)
+		}
+	}
+}

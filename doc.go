@@ -4,47 +4,80 @@
 // networks for peer populations with arbitrary, skewed identifier
 // distributions.
 //
-// The implementation lives under internal/:
+// This package — the module root — implements the paper's primary
+// contribution, the two extended Kleinberg small-world models:
 //
-//   - internal/smallworld — the paper's two models (uniform-density
-//     logarithmic-outdegree, and the skew-adapted mass criterion of
-//     Eq. 7) plus the classic Kleinberg construction;
-//   - internal/dist, internal/keyspace, internal/graph, internal/xrand,
-//     internal/metrics — the substrates (densities with exact CDF and
-//     quantile maps, the unit key space, graph analytics, deterministic
-//     randomness, statistics);
-//   - internal/dht/{chord,pastry,pgrid,symphony,can} — the comparison
-//     baselines the paper references;
-//   - internal/overlay — a concurrent simulation of the Section 4.2
-//     join/refinement protocol;
-//   - internal/exp — the experiment harness regenerating every table in
-//     EXPERIMENTS.md.
+// Model 1 ("uniform key distribution, logarithmic outdegree",
+// Section 3): peers hold identifiers drawn uniformly from [0,1), each
+// keeps two neighbour links (predecessor and successor in key order)
+// plus log2(N) long-range links chosen with probability inversely
+// proportional to the geometric distance d(u,v), restricted to
+// d(u,v) >= 1/N. Theorem 1 shows greedy routing needs O(log2 N)
+// expected hops.
+//
+// Model 2 ("skewed key distribution", Section 4): identifiers follow an
+// arbitrary density f, and long-range links are chosen inversely
+// proportional to the probability mass |∫ f| between the peers (Eq. 7),
+// restricted to mass >= 1/N. Theorem 2 shows routing stays O(log2 N)
+// independent of the skew, by the CDF normalisation argument of
+// Figures 1-2.
+//
+// Both models, plus the classic Kleinberg construction with an
+// arbitrary exponent r, are expressed through one Config: a distance
+// Measure (geometric or mass), an Exponent, and a Degree function
+// (constant through logarithmic). Build them with Build or the
+// context-aware BuildContext.
+//
+// # Public packages
+//
+//   - . (module root) — the paper's two models and the Kleinberg
+//     construction: Config/Build/Network, zero-allocation Routers,
+//     range queries, partition analysis, fault models;
+//   - dist — identifier densities with exact CDF and quantile maps
+//     (uniform, power, truncated exponential/normal, Zipf, mixtures,
+//     histogram estimation, flag parsing via dist.Parse);
+//   - keyspace — the unit key space: Line/Ring topologies, the distance
+//     of Eq. (1), intervals, sorted point search;
+//   - graph — the mutable adjacency + frozen CSR graph core every hot
+//     path iterates;
+//   - metrics — streaming summaries, percentiles, Gini, χ², OLS fits;
+//   - xrand — the deterministic splittable RNG behind every build;
+//   - overlaynet — the unified Overlay interface, the name-keyed
+//     topology registry covering every overlay in the repository (both
+//     models, Kleinberg, Watts–Strogatz, Chord, Pastry, P-Grid,
+//     Symphony, Mercury, CAN, and the live Section 4.2 protocol), and
+//     the batched context-aware QueryRunner.
+//
+// The comparison baselines themselves (internal/dht/*, internal/
+// wattsstrogatz, internal/overlay) and the experiment harness
+// (internal/exp) remain internal; external consumers reach every
+// topology through overlaynet.
 //
 // # Performance core
 //
 // The experiment sweeps route millions of greedy queries over overlays
-// of up to 16k+ peers, so the hot path is deliberately flat:
+// of 16k+ peers, so the hot path is deliberately flat:
 //
 //   - graphs freeze into a CSR (compressed sparse row) snapshot after
 //     construction — two flat int32 arrays that routing, BFS and
-//     clustering iterate without pointer chasing (internal/graph);
+//     clustering iterate without pointer chasing (package graph);
 //   - the Exact link sampler draws from the literal model distribution
 //     P[v] ∝ measure(u,v)^-r through a Walker alias table over dyadic
 //     measure bands plus an exact rejection step: O(log²N) per node
 //     instead of the naive O(N) cumulative table, with bit-reproducible
 //     builds per (cfg, seed) independent of Workers;
-//   - routing runs through Router scratch buffers
-//     (smallworld.Network.NewRouter) with zero steady-state heap
-//     allocations and topology-specialised inner loops; the experiment
-//     harness holds one Router per worker goroutine.
+//   - routing runs through Router scratch buffers (Network.NewRouter)
+//     with zero steady-state heap allocations and topology-specialised
+//     inner loops; overlaynet.QueryRunner batches queries with one
+//     Router per worker and reusable result buffers, so warmed batches
+//     allocate nothing.
 //
 // PERFORMANCE.md documents the layout, the sampler's correctness
-// argument, the micro-benchmarks (run `go test -bench . -benchtime 10x`;
-// they report allocs/op), and how to record an experiment baseline with
-// `go run ./cmd/swbench -json BENCH_PR1.json`.
+// argument, the micro-benchmarks (run `go test -bench . -benchtime
+// 10x`; they report allocs/op), the internal/ → public migration table,
+// and how to record an experiment baseline with `go run ./cmd/swbench
+// -json BENCH_PR2.json`.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// experiment index, and EXPERIMENTS.md for paper-claim-vs-measured
-// results. The benchmarks in bench_test.go regenerate every experiment
-// table (run with -v to see them).
+// See README.md for a tour. The benchmarks in bench_test.go regenerate
+// every experiment table (run with -v to see them).
 package smallworld

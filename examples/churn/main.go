@@ -11,11 +11,11 @@ import (
 	"log"
 	"math"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/metrics"
+	"smallworld/dist"
 	"smallworld/internal/overlay"
 	"smallworld/internal/workload"
-	"smallworld/internal/xrand"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 func main() {

@@ -13,11 +13,11 @@ import (
 	"math"
 	"strings"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 // keyOf maps a lowercase word to [0,1) preserving lexicographic order:

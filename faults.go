@@ -1,0 +1,180 @@
+package smallworld
+
+import (
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// The paper closes by listing "models that can take into account an
+// unstable P2P environment (nodes are allowed to fail)" as open work.
+// This file provides that model: routing across a network in which a
+// subset of nodes is unreachable (crashed but not yet repaired, so other
+// peers still hold stale links to them), with two policies — plain
+// greedy that skips dead candidates, and greedy with backtracking that
+// explores alternatives when a live local minimum has no live
+// improvement to offer.
+
+// FailSet marks a subset of nodes as crashed.
+type FailSet struct {
+	dead []bool
+	n    int
+}
+
+// NewFailSet marks each node dead independently with probability frac,
+// using r. The source and destination of experiments can be re-rolled by
+// the caller via Alive.
+func NewFailSet(nw *Network, r *xrand.Stream, frac float64) *FailSet {
+	fs := &FailSet{dead: make([]bool, nw.N())}
+	for i := range fs.dead {
+		if r.Bool(frac) {
+			fs.dead[i] = true
+			fs.n++
+		}
+	}
+	return fs
+}
+
+// Dead reports whether node u is crashed.
+func (fs *FailSet) Dead(u int) bool { return fs.dead[u] }
+
+// Alive reports whether node u is reachable.
+func (fs *FailSet) Alive(u int) bool { return !fs.dead[u] }
+
+// CountDead returns the number of crashed nodes.
+func (fs *FailSet) CountDead() int { return fs.n }
+
+// Revive clears the failure of node u (used by tests).
+func (fs *FailSet) Revive(u int) {
+	if fs.dead[u] {
+		fs.dead[u] = false
+		fs.n--
+	}
+}
+
+// ClosestLive returns the live node closest to target, or -1 when every
+// node is dead.
+func (nw *Network) ClosestLive(target keyspace.Key, fs *FailSet) int {
+	best, bestD := -1, nw.cfg.Topology.MaxDistance()+1
+	for u := 0; u < nw.N(); u++ {
+		if fs.Dead(u) {
+			continue
+		}
+		if d := nw.cfg.Topology.Distance(nw.keys[u], target); d < bestD {
+			best, bestD = u, d
+		}
+	}
+	return best
+}
+
+// RouteGreedyAvoiding routes greedily while skipping crashed candidates.
+// Without backtracking the route fails whenever it reaches a live node
+// none of whose live out-neighbours improves on it — the failure mode
+// that motivates redundancy in the routing table.
+func (nw *Network) RouteGreedyAvoiding(src int, target keyspace.Key, fs *FailSet) Route {
+	topo := nw.cfg.Topology
+	cur := src
+	path := []int{src}
+	guard := maxHopsFor(nw.cfg.N)
+	dCur := topo.Distance(nw.keys[cur], target)
+	for hops := 0; ; hops++ {
+		if hops >= guard {
+			return Route{Path: path, Truncated: true}
+		}
+		best, bestD := -1, dCur
+		bestKey := nw.keys[cur]
+		for _, v := range nw.csr.Out(cur) {
+			if fs.Dead(int(v)) {
+				continue
+			}
+			vKey := nw.keys[v]
+			d := topo.Distance(vKey, target)
+			if better(topo, bestKey, vKey, target, d, bestD) {
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+		path = append(path, cur)
+	}
+	return Route{Path: path, Arrived: cur == nw.ClosestLive(target, fs)}
+}
+
+// RouteBacktracking routes with depth-first backtracking: candidates at
+// each node are tried in greedy order, visited nodes are never re-
+// entered, and when a node runs out of live unvisited candidates the
+// query returns to where it came from (each return costs a hop, as it
+// would in a deployed system). It reaches the live closest node whenever
+// the live subgraph connects src to it.
+func (nw *Network) RouteBacktracking(src int, target keyspace.Key, fs *FailSet) Route {
+	goal := nw.ClosestLive(target, fs)
+	if goal == -1 {
+		return Route{Path: []int{src}}
+	}
+	type frame struct {
+		node  int
+		cands []int32 // live candidates in greedy order, not yet tried
+	}
+	visited := map[int]bool{src: true}
+	path := []int{src}
+	stack := []frame{{node: src, cands: nw.orderedLiveCandidates(src, target, fs, visited)}}
+	guard := 4 * nw.cfg.N
+	for len(stack) > 0 {
+		if len(path) >= guard {
+			return Route{Path: path, Truncated: true}
+		}
+		top := &stack[len(stack)-1]
+		if top.node == goal {
+			return Route{Path: path, Arrived: true}
+		}
+		// Advance to the next untried candidate.
+		var next int = -1
+		for len(top.cands) > 0 {
+			c := int(top.cands[0])
+			top.cands = top.cands[1:]
+			if !visited[c] {
+				next = c
+				break
+			}
+		}
+		if next == -1 {
+			// Exhausted: backtrack (one hop back to the previous node).
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				path = append(path, stack[len(stack)-1].node)
+			}
+			continue
+		}
+		visited[next] = true
+		path = append(path, next)
+		stack = append(stack, frame{node: next, cands: nw.orderedLiveCandidates(next, target, fs, visited)})
+	}
+	return Route{Path: path}
+}
+
+// orderedLiveCandidates returns u's live, unvisited out-neighbours in
+// ascending order of distance to the target (greedy preference order).
+func (nw *Network) orderedLiveCandidates(u int, target keyspace.Key, fs *FailSet, visited map[int]bool) []int32 {
+	topo := nw.cfg.Topology
+	out := nw.csr.Out(u)
+	cands := make([]int32, 0, len(out))
+	for _, v := range out {
+		if !fs.Dead(int(v)) && !visited[int(v)] {
+			cands = append(cands, v)
+		}
+	}
+	// Insertion sort by target distance; candidate lists are short.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			dj := topo.Distance(nw.keys[cands[j]], target)
+			dp := topo.Distance(nw.keys[cands[j-1]], target)
+			if dj < dp {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			} else {
+				break
+			}
+		}
+	}
+	return cands
+}

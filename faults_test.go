@@ -1,0 +1,168 @@
+package smallworld
+
+import (
+	"testing"
+
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
+)
+
+func TestFailSetBasics(t *testing.T) {
+	cfg := UniformConfig(128, 71)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(72), 0.3)
+	if fs.CountDead() < 20 || fs.CountDead() > 60 {
+		t.Errorf("dead count %d implausible for frac 0.3 of 128", fs.CountDead())
+	}
+	for u := 0; u < nw.N(); u++ {
+		if fs.Dead(u) == fs.Alive(u) {
+			t.Fatal("Dead and Alive disagree")
+		}
+	}
+	// Revive works and is idempotent.
+	for u := 0; u < nw.N(); u++ {
+		fs.Revive(u)
+		fs.Revive(u)
+	}
+	if fs.CountDead() != 0 {
+		t.Errorf("after reviving everyone, %d still dead", fs.CountDead())
+	}
+}
+
+func TestClosestLive(t *testing.T) {
+	cfg := UniformConfig(64, 73)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(74), 0)
+	target := nw.Key(10)
+	if got := nw.ClosestLive(target, fs); got != 10 {
+		t.Errorf("ClosestLive with no failures = %d, want 10", got)
+	}
+	fs.dead[10] = true
+	fs.n++
+	got := nw.ClosestLive(target, fs)
+	if got != 9 && got != 11 {
+		t.Errorf("ClosestLive with owner dead = %d, want a ring neighbour", got)
+	}
+}
+
+func TestAvoidingSkipsDeadNodes(t *testing.T) {
+	cfg := UniformConfig(512, 75)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(76), 0.2)
+	r := xrand.New(77)
+	for i := 0; i < 300; i++ {
+		src := r.Intn(nw.N())
+		if fs.Dead(src) {
+			continue
+		}
+		rt := nw.RouteGreedyAvoiding(src, keyspace.Key(r.Float64()), fs)
+		for _, u := range rt.Path[1:] {
+			if fs.Dead(u) {
+				t.Fatal("route passed through a dead node")
+			}
+		}
+	}
+}
+
+func TestBacktrackingAlwaysArrives(t *testing.T) {
+	// With ring neighbours dead, plain greedy can strand; backtracking
+	// must still arrive whenever the live subgraph is connected. At 30%
+	// failures the ring is broken, but the long links keep the live
+	// subgraph connected with overwhelming probability.
+	cfg := UniformConfig(512, 78)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(79), 0.3)
+	r := xrand.New(80)
+	attempts, arrived := 0, 0
+	for i := 0; i < 200; i++ {
+		src := r.Intn(nw.N())
+		if fs.Dead(src) {
+			continue
+		}
+		attempts++
+		rt := nw.RouteBacktracking(src, keyspace.Key(r.Float64()), fs)
+		if rt.Arrived {
+			arrived++
+		}
+		for _, u := range rt.Path {
+			if u != src && fs.Dead(u) {
+				t.Fatal("backtracking route entered a dead node")
+			}
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no live sources sampled")
+	}
+	if frac := float64(arrived) / float64(attempts); frac < 0.99 {
+		t.Errorf("backtracking arrival rate %.3f, want ~1", frac)
+	}
+}
+
+func TestBacktrackingBeatsGreedyUnderFailures(t *testing.T) {
+	cfg := UniformConfig(512, 81)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(82), 0.4)
+	r := xrand.New(83)
+	greedyOK, backOK, attempts := 0, 0, 0
+	for i := 0; i < 300; i++ {
+		src := r.Intn(nw.N())
+		if fs.Dead(src) {
+			continue
+		}
+		attempts++
+		target := keyspace.Key(r.Float64())
+		if nw.RouteGreedyAvoiding(src, target, fs).Arrived {
+			greedyOK++
+		}
+		if nw.RouteBacktracking(src, target, fs).Arrived {
+			backOK++
+		}
+	}
+	if backOK <= greedyOK {
+		t.Errorf("backtracking (%d/%d) should beat plain greedy (%d/%d) at 40%% failures",
+			backOK, attempts, greedyOK, attempts)
+	}
+}
+
+func TestBacktrackingNoFailuresMatchesGreedy(t *testing.T) {
+	cfg := UniformConfig(256, 84)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(85), 0)
+	r := xrand.New(86)
+	var g, bt metrics.Summary
+	for i := 0; i < 300; i++ {
+		src := r.Intn(nw.N())
+		target := nw.Key(r.Intn(nw.N()))
+		rtG := nw.RouteGreedy(src, target)
+		rtB := nw.RouteBacktracking(src, target, fs)
+		if !rtB.Arrived {
+			t.Fatal("backtracking failed with no failures")
+		}
+		g.Add(float64(rtG.Hops()))
+		bt.Add(float64(rtB.Hops()))
+	}
+	if bt.Mean() > g.Mean()*1.05 {
+		t.Errorf("with no failures backtracking (%.2f) should track greedy (%.2f)", bt.Mean(), g.Mean())
+	}
+}
+
+func TestRouteBacktrackingAllDead(t *testing.T) {
+	cfg := UniformConfig(64, 87)
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(88), 0)
+	for u := 0; u < nw.N(); u++ {
+		fs.dead[u] = true
+	}
+	fs.n = nw.N()
+	rt := nw.RouteBacktracking(0, 0.5, fs)
+	if rt.Arrived {
+		t.Error("cannot arrive when every node is dead")
+	}
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"smallworld/xrand"
+)
+
+// randomGraph builds a random graph with ~4n edges for property tests.
+func randomGraph(seed uint64) *Graph {
+	r := xrand.New(seed)
+	n := 2 + r.Intn(30)
+	g := New(n)
+	for i := 0; i < 4*n; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+func TestFreezeMatchesGraph(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		c := g.Freeze()
+		if c.N() != g.N() || c.M() != g.M() {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			if c.OutDegree(u) != g.OutDegree(u) {
+				return false
+			}
+			row := c.Out(u)
+			if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i] < row[j] }) {
+				return false
+			}
+			for _, v := range row {
+				if !g.HasEdge(u, int(v)) || !c.HasEdge(u, int(v)) {
+					return false
+				}
+			}
+			for v := 0; v < g.N(); v++ {
+				if g.HasEdge(u, v) != c.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreezeIsSnapshot(t *testing.T) {
+	g := ring(5)
+	c := g.Freeze()
+	g.RemoveEdge(0, 1)
+	g.AddEdge(0, 3)
+	if !c.HasEdge(0, 1) || c.HasEdge(0, 3) {
+		t.Error("CSR must not observe later Graph mutations")
+	}
+}
+
+func TestCSRBFSAgreesWithGraph(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		c := g.Freeze()
+		for src := 0; src < g.N(); src += 3 {
+			dg := g.BFS(src)
+			dc := c.BFS(src)
+			for i := range dg {
+				if dg[i] != dc[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRReverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		c := g.Freeze()
+		r := c.Reverse()
+		if r.M() != c.M() {
+			return false
+		}
+		for u := 0; u < c.N(); u++ {
+			row := r.Out(u)
+			if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i] < row[j] }) {
+				return false
+			}
+			for _, v := range c.Out(u) {
+				if !r.HasEdge(int(v), u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRStronglyConnected(t *testing.T) {
+	if !ring(10).Freeze().StronglyConnected() {
+		t.Error("directed ring must be strongly connected")
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.Freeze().StronglyConnected() {
+		t.Error("path graph is not strongly connected")
+	}
+	if !New(0).Freeze().StronglyConnected() || !New(1).Freeze().StronglyConnected() {
+		t.Error("trivial graphs are connected")
+	}
+}
+
+func TestCSRClusteringMatchesDefinition(t *testing.T) {
+	// Complete directed triangle: clustering = 1.
+	g := New(3)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if cc := g.Freeze().ClusteringCoefficient(); cc != 1 {
+		t.Errorf("triangle clustering = %v, want 1", cc)
+	}
+	star := New(4)
+	star.AddEdges(0, []int32{1, 2, 3})
+	if cc := star.Freeze().ClusteringCoefficient(); cc != 0 {
+		t.Errorf("star clustering = %v, want 0", cc)
+	}
+}
+
+func TestAddEdgesBulk(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 5)
+	added := g.AddEdges(0, []int32{3, 1, 3, 0, 5, 2})
+	if added != 3 { // 3, 1, 2 are new; 0 is a self-loop; 5 and dup 3 exist
+		t.Errorf("AddEdges added %d, want 3", added)
+	}
+	if g.M() != 4 || g.OutDegree(0) != 4 {
+		t.Errorf("M=%d deg=%d after bulk insert", g.M(), g.OutDegree(0))
+	}
+	row := g.Out(0)
+	for i := 1; i < len(row); i++ {
+		if row[i-1] >= row[i] {
+			t.Fatalf("row not sorted/deduped: %v", row)
+		}
+	}
+	if g.AddEdges(0, nil) != 0 {
+		t.Error("empty bulk insert should add nothing")
+	}
+}
+
+func TestAddEdgesEquivalentToAddEdge(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(20)
+		a, b := New(n), New(n)
+		for u := 0; u < n; u++ {
+			vs := make([]int32, r.Intn(12))
+			for i := range vs {
+				vs[i] = int32(r.Intn(n))
+			}
+			for _, v := range vs {
+				a.AddEdge(u, int(v))
+			}
+			b.AddEdges(u, vs)
+		}
+		if a.M() != b.M() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			ra, rb := a.Out(u), b.Out(u)
+			if len(ra) != len(rb) {
+				return false
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutRowsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	row := g.Out(0)
+	want := []int32{1, 3, 4}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("row = %v, want %v", row, want)
+		}
+	}
+}
+
+func TestCSRPathLengthStats(t *testing.T) {
+	c := ring(16).Freeze()
+	s, maxD := c.PathLengthStats(xrand.New(1), 16)
+	if d := s.Mean() - 8; d > 1e-9 || d < -1e-9 {
+		t.Errorf("mean path length = %v, want 8", s.Mean())
+	}
+	if maxD != 15 {
+		t.Errorf("max distance = %d, want 15", maxD)
+	}
+}

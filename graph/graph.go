@@ -1,0 +1,238 @@
+// Package graph provides the directed-graph substrate used to analyse
+// constructed overlays: adjacency storage, BFS distances, strong
+// connectivity, clustering coefficients, and degree/path-length summaries.
+// Overlay networks in the paper are directed graphs G = (P, E) whose
+// edges are routing-table entries, so all analysis here is directed.
+//
+// Two representations split the lifecycle. Graph is the mutable builder
+// used during construction and failure injection: adjacency rows are kept
+// sorted so membership tests are binary searches rather than linear
+// scans, and AddEdges offers a bulk sort/dedup insertion path. Freeze
+// converts a finished Graph into a CSR (compressed sparse row) snapshot —
+// two flat arrays — which every hot path (routing, BFS, clustering)
+// iterates without pointer chasing; see csr.go.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"smallworld/metrics"
+	"smallworld/xrand"
+)
+
+// Graph is a mutable directed graph over nodes 0..N-1. Each adjacency row
+// is kept sorted ascending and free of duplicates.
+type Graph struct {
+	adj   [][]int32
+	edges int
+}
+
+// New creates a graph with n isolated nodes. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddEdge inserts the directed edge u -> v if it is not already present
+// and is not a self-loop; it reports whether an edge was added. The row
+// stays sorted: position by binary search, O(log d) compare + O(d) move.
+func (g *Graph) AddEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false
+	}
+	row := g.adj[u]
+	i := searchInt32(row, int32(v))
+	if i < len(row) && row[i] == int32(v) {
+		return false
+	}
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = int32(v)
+	g.adj[u] = row
+	g.edges++
+	return true
+}
+
+// AddEdges bulk-inserts the directed edges u -> v for every v in vs,
+// skipping self-loops and duplicates, and reports how many edges were
+// added. The input is appended, sorted and deduplicated in one pass —
+// the fast path for installing a node's whole link set at once.
+func (g *Graph) AddEdges(u int, vs []int32) int {
+	g.check(u)
+	if len(vs) == 0 {
+		return 0
+	}
+	row := g.adj[u]
+	before := len(row)
+	for _, v := range vs {
+		g.check(int(v))
+		if int(v) != u {
+			row = append(row, v)
+		}
+	}
+	if len(row) > before {
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		row = dedupSorted(row)
+	}
+	g.adj[u] = row
+	g.edges += len(row) - before
+	return len(row) - before
+}
+
+// dedupSorted removes adjacent duplicates from a sorted row in place.
+func dedupSorted(row []int32) []int32 {
+	w := 0
+	for i, v := range row {
+		if i == 0 || v != row[w-1] {
+			row[w] = v
+			w++
+		}
+	}
+	return row[:w]
+}
+
+// RemoveEdge deletes the directed edge u -> v; it reports whether the
+// edge existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	row := g.adj[u]
+	i := searchInt32(row, int32(v))
+	if i >= len(row) || row[i] != int32(v) {
+		return false
+	}
+	g.adj[u] = append(row[:i], row[i+1:]...)
+	g.edges--
+	return true
+}
+
+// HasEdge reports whether the directed edge u -> v exists (binary search
+// on the sorted row).
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	row := g.adj[u]
+	i := searchInt32(row, int32(v))
+	return i < len(row) && row[i] == int32(v)
+}
+
+// searchInt32 returns the insertion index of v in the sorted row.
+func searchInt32(row []int32, v int32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Out returns the out-neighbour list of u in ascending order. The
+// returned slice aliases the graph's storage and must not be modified.
+func (g *Graph) Out(u int) []int32 {
+	g.check(u)
+	return g.adj[u]
+}
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	c.edges = g.edges
+	for u, ns := range g.adj {
+		c.adj[u] = append([]int32(nil), ns...)
+	}
+	return c
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// Freeze snapshots g into an immutable CSR form: all adjacency rows
+// concatenated into one flat target array with per-node offsets. Rows
+// are already sorted and deduplicated, so freezing is a single copy.
+// Later mutations of g do not affect the returned CSR.
+func (g *Graph) Freeze() *CSR {
+	n := g.N()
+	c := &CSR{
+		offsets: make([]int32, n+1),
+		targets: make([]int32, 0, g.edges),
+	}
+	for u, row := range g.adj {
+		c.offsets[u+1] = c.offsets[u] + int32(len(row))
+		c.targets = append(c.targets, row...)
+	}
+	return c
+}
+
+// Reverse returns the graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.N())
+	// Appending u in ascending order keeps every reversed row sorted.
+	for u, ns := range g.adj {
+		for _, v := range ns {
+			r.adj[v] = append(r.adj[v], int32(u))
+		}
+	}
+	r.edges = g.edges
+	return r
+}
+
+// The analysis entry points delegate to the flat CSR iteration: freezing
+// is O(N+M), the same order as any of these traversals, and the flat
+// form is what the traversals are optimised for.
+
+// BFS returns hop distances from src to every node (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	g.check(src)
+	return g.Freeze().BFS(src)
+}
+
+// StronglyConnected reports whether every node can reach every other
+// node.
+func (g *Graph) StronglyConnected() bool {
+	return g.Freeze().StronglyConnected()
+}
+
+// DegreeStats summarises the out-degree distribution. Unlike the
+// traversals below there is nothing to gain from the flat form, so it
+// reads the builder rows directly.
+func (g *Graph) DegreeStats() metrics.Summary {
+	var s metrics.Summary
+	for _, row := range g.adj {
+		s.Add(float64(len(row)))
+	}
+	return s
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient.
+func (g *Graph) ClusteringCoefficient() float64 {
+	return g.Freeze().ClusteringCoefficient()
+}
+
+// PathLengthStats estimates the shortest-path-length distribution from
+// `samples` random BFS sources.
+func (g *Graph) PathLengthStats(r *xrand.Stream, samples int) (metrics.Summary, int) {
+	return g.Freeze().PathLengthStats(r, samples)
+}

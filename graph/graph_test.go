@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smallworld/xrand"
+)
+
+func ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestNewAndCounts(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Errorf("N,M = %d,%d want 5,0", g.N(), g.M())
+	}
+}
+
+func TestNewPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(3)
+	if !g.AddEdge(0, 1) {
+		t.Error("first AddEdge should succeed")
+	}
+	if g.AddEdge(0, 1) {
+		t.Error("duplicate AddEdge should be rejected")
+	}
+	if g.AddEdge(1, 1) {
+		t.Error("self-loop should be rejected")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge direction wrong")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge existing should return true")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Error("RemoveEdge absent should return false")
+	}
+	if g.M() != 1 || g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Error("graph state wrong after removal")
+	}
+}
+
+func TestOutAndDegree(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 3)
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 0 {
+		t.Error("out degrees wrong")
+	}
+	out := g.Out(0)
+	if len(out) != 2 {
+		t.Errorf("Out(0) = %v", out)
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	g.AddEdge(0, 5)
+}
+
+func TestBFSRing(t *testing.T) {
+	g := ring(6)
+	d := g.BFS(0)
+	want := []int{0, 1, 2, 3, 4, 5}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("BFS dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	d := g.BFS(0)
+	if d[2] != -1 {
+		t.Errorf("unreachable node distance = %d, want -1", d[2])
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.HasEdge(0, 1) {
+		t.Error("Reverse wrong")
+	}
+	if r.M() != g.M() {
+		t.Error("Reverse changed edge count")
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	if !ring(10).StronglyConnected() {
+		t.Error("directed ring must be strongly connected")
+	}
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.StronglyConnected() {
+		t.Error("path graph is not strongly connected")
+	}
+	if !New(0).StronglyConnected() || !New(1).StronglyConnected() {
+		t.Error("trivial graphs are connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := ring(5)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("Clone shares storage with original")
+	}
+	if c.M() != g.M()-1 {
+		t.Error("clone edge count wrong")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := ring(8)
+	s := g.DegreeStats()
+	if s.Mean() != 1 || s.Min() != 1 || s.Max() != 1 {
+		t.Errorf("ring degree stats = %v", s.String())
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Complete directed triangle: clustering = 1.
+	g := New(3)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if c := g.ClusteringCoefficient(); c != 1 {
+		t.Errorf("triangle clustering = %v, want 1", c)
+	}
+	// Star: hub's neighbours unconnected -> clustering 0.
+	star := New(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	if c := star.ClusteringCoefficient(); c != 0 {
+		t.Errorf("star clustering = %v, want 0", c)
+	}
+	if New(0).ClusteringCoefficient() != 0 {
+		t.Error("empty graph clustering should be 0")
+	}
+}
+
+func TestPathLengthStatsRing(t *testing.T) {
+	g := ring(16)
+	r := xrand.New(1)
+	s, maxD := g.PathLengthStats(r, 16)
+	// On a directed 16-ring, distances from any source are 1..15, mean 8.
+	if d := s.Mean() - 8; d > 1e-9 || d < -1e-9 {
+		t.Errorf("mean path length = %v, want 8", s.Mean())
+	}
+	if maxD != 15 {
+		t.Errorf("max distance = %d, want 15", maxD)
+	}
+}
+
+func TestPathLengthStatsEmpty(t *testing.T) {
+	g := New(0)
+	r := xrand.New(1)
+	s, maxD := g.PathLengthStats(r, 4)
+	if s.N() != 0 || maxD != 0 {
+		t.Error("empty graph should yield empty stats")
+	}
+}
+
+func TestPathLengthSamplesClamped(t *testing.T) {
+	g := ring(4)
+	r := xrand.New(1)
+	s, _ := g.PathLengthStats(r, 100) // more samples than nodes
+	if s.N() != 4*3 {
+		t.Errorf("expected all-pairs coverage, got %d observations", s.N())
+	}
+}
+
+// Property: on random graphs, Reverse(Reverse(g)) preserves the edge set.
+func TestReverseInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(20)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		rr := g.Reverse().Reverse()
+		if rr.M() != g.M() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				if !rr.HasEdge(u, int(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BFS distances obey the triangle property along edges:
+// dist[v] <= dist[u]+1 for every edge u->v with dist[u] >= 0.
+func TestBFSEdgeConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(30)
+		g := New(n)
+		for i := 0; i < 4*n; i++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		d := g.BFS(0)
+		for u := 0; u < n; u++ {
+			if d[u] < 0 {
+				continue
+			}
+			for _, v := range g.Out(u) {
+				if d[v] < 0 || d[v] > d[u]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

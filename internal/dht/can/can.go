@@ -20,8 +20,8 @@ import (
 	"fmt"
 	"math"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/xrand"
 )
 
 // MaxDims bounds the supported dimensionality.
@@ -201,6 +201,13 @@ func (nw *Network) Zone(u int) Zone { return nw.zones[u] }
 
 // TableSize returns the number of neighbours node u keeps.
 func (nw *Network) TableSize(u int) int { return len(nw.neighbors[u]) }
+
+// Links returns the indices of the zones bordering node u's zone. The
+// slice must not be modified.
+func (nw *Network) Links(u int) []int32 { return nw.neighbors[u] }
+
+// Dims returns the dimensionality of the cube.
+func (nw *Network) Dims() int { return nw.cfg.Dims }
 
 // Owner returns the node whose zone contains p.
 func (nw *Network) Owner(p Point) int { return nw.zoneContaining(p) }

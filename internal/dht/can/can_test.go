@@ -4,9 +4,9 @@ import (
 	"math"
 	"testing"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/metrics"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 func mustBuild(t *testing.T, cfg Config) *Network {

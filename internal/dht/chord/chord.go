@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"sort"
 
-	"smallworld/internal/xrand"
+	"smallworld/xrand"
 )
 
 // M is the identifier bit width.
@@ -94,6 +94,18 @@ func containsIdx(xs []int32, x int32) bool {
 		}
 	}
 	return false
+}
+
+// Links returns the out-neighbours a query at node u may be forwarded
+// to: the deduplicated fingers plus the immediate successor when it is
+// not already a finger. The caller owns the returned slice.
+func (nw *Network) Links(u int) []int32 {
+	out := make([]int32, 0, len(nw.fingers[u])+1)
+	out = append(out, nw.fingers[u]...)
+	if !containsIdx(out, nw.succ[u]) {
+		out = append(out, nw.succ[u])
+	}
+	return out
 }
 
 // successorIndex returns the index of the first node with id >= x,

@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"sort"
 
-	"smallworld/internal/xrand"
+	"smallworld/xrand"
 )
 
 // Config describes a Pastry network.
@@ -161,6 +161,27 @@ func (nw *Network) TableSize(u int) int {
 		}
 	}
 	return size
+}
+
+// Links returns the out-neighbours a query at node u may be forwarded
+// to: the populated routing-table entries plus the leaf set, with
+// duplicates removed. The caller owns the returned slice.
+func (nw *Network) Links(u int) []int32 {
+	seen := make(map[int32]bool, len(nw.table[u])+len(nw.leaves[u]))
+	out := make([]int32, 0, len(nw.table[u])+len(nw.leaves[u]))
+	for _, e := range nw.table[u] {
+		if e >= 0 && e != int32(u) && !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	for _, e := range nw.leaves[u] {
+		if e != int32(u) && !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // circularDist returns the circular distance between two 64-bit ids.

@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"smallworld/internal/metrics"
-	"smallworld/internal/xrand"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 func mustBuild(t *testing.T, cfg Config) *Network {

@@ -14,9 +14,9 @@ package pgrid
 import (
 	"fmt"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
 )
 
 // maxDepth bounds trie depth; 52 levels exhaust float64 mantissa
@@ -192,6 +192,29 @@ func (nw *Network) PathLen(u int) int { return len(nw.paths[u]) }
 
 // TableSize returns the number of routing entries peer u keeps.
 func (nw *Network) TableSize(u int) int { return len(nw.refs[u]) }
+
+// Links returns the out-neighbours a query at peer u may be forwarded
+// to: the per-level references, with duplicates and self-references (the
+// virtual-split boundary case) removed. The caller owns the returned
+// slice.
+func (nw *Network) Links(u int) []int32 {
+	out := make([]int32, 0, len(nw.refs[u]))
+	for _, e := range nw.refs[u] {
+		if int(e) != u && !containsRef(out, e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func containsRef(xs []int32, x int32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
 
 // targetBits lazily derives the trie branch of a target key at peer u's
 // split geometry: bit l is 0 when the key falls in the lower half of the

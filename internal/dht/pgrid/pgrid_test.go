@@ -4,10 +4,10 @@ import (
 	"math"
 	"testing"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 func mustBuild(t *testing.T, cfg Config) *Network {

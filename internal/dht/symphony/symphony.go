@@ -18,9 +18,9 @@ package symphony
 import (
 	"fmt"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
 )
 
 // Mode selects the long-link selection rule.
@@ -142,6 +142,10 @@ func (nw *Network) Key(u int) keyspace.Key { return nw.keys[u] }
 
 // TableSize returns the number of routing entries node u keeps.
 func (nw *Network) TableSize(u int) int { return len(nw.out[u]) }
+
+// Links returns node u's out-neighbours: ring neighbours plus long
+// links. The slice must not be modified.
+func (nw *Network) Links(u int) []int32 { return nw.out[u] }
 
 // Owner returns the node whose identifier is closest to target on the
 // ring.

@@ -4,9 +4,9 @@ import (
 	"math"
 	"testing"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/metrics"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 func lookupStats(t *testing.T, nw *Network, queries int, seed uint64) metrics.Summary {

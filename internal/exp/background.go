@@ -1,12 +1,12 @@
 package exp
 
 import (
-	"smallworld/internal/keyspace"
+	"smallworld"
 	"smallworld/internal/lattice"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
 	"smallworld/internal/wattsstrogatz"
-	"smallworld/internal/xrand"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 // E16WattsStrogatz reproduces the background contrast the paper opens

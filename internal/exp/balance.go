@@ -1,12 +1,12 @@
 package exp
 
 import (
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
+	"smallworld"
+	"smallworld/dist"
 	"smallworld/internal/loadbalance"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 // E7StorageBalance validates the Section 4 premise: under skewed data

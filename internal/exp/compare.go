@@ -1,16 +1,16 @@
 package exp
 
 import (
+	"smallworld"
+	"smallworld/dist"
 	"smallworld/internal/dht/can"
 	"smallworld/internal/dht/chord"
 	"smallworld/internal/dht/pastry"
 	"smallworld/internal/dht/pgrid"
 	"smallworld/internal/dht/symphony"
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 // E4DHTComparison validates Section 3.1's unification claim: the

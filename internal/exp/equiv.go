@@ -1,11 +1,11 @@
 package exp
 
 import (
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 // E9NormalizationEquivalence executes the construction in Theorem 2's

@@ -1,86 +1,56 @@
 package exp
 
 import (
+	"context"
 	"math"
-	"runtime"
-	"sync"
 
-	"smallworld/internal/keyspace"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld"
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/xrand"
 )
 
-// routeHops routes `queries` random node-to-node requests in parallel and
-// returns the per-query hop counts. Queries that fail to arrive are
-// counted as the network size (they cannot occur with intact neighbour
+// routeHops routes `queries` random node-to-node requests through a
+// batched overlaynet.QueryRunner (one zero-allocation Router per worker)
+// and returns the per-query hop counts. Queries that fail to arrive are
+// recorded as the network size (they cannot occur with intact neighbour
 // edges; the sentinel would make a regression obvious in every table).
 func routeHops(nw *smallworld.Network, seed uint64, queries int) []float64 {
-	pairs := make([][2]int, queries)
-	rng := xrand.New(seed)
-	for i := range pairs {
-		pairs[i] = [2]int{rng.Intn(nw.N()), rng.Intn(nw.N())}
+	ov := overlaynet.WrapNetwork(nw)
+	qr := overlaynet.NewQueryRunner(ov, overlaynet.FailHops(float64(nw.N())))
+	batch, err := qr.Run(context.Background(), overlaynet.RandomPairs(ov, seed, queries))
+	if err != nil {
+		// Unreachable with a background context; if an error path ever
+		// appears, every query reports the failure sentinel.
+		return failedHops(queries, nw.N())
 	}
-	hops := make([]float64, queries)
-	routeChunks(len(pairs), func(lo, hi int) {
-		// One router per worker: the whole chunk routes with zero
-		// steady-state allocations.
-		router := nw.NewRouter()
-		for i := lo; i < hi; i++ {
-			rt := router.RouteToNode(pairs[i][0], pairs[i][1])
-			if rt.Arrived {
-				hops[i] = float64(rt.Hops())
-			} else {
-				hops[i] = float64(nw.N())
-			}
-		}
-	})
-	return hops
+	return batch.Hops
 }
 
-// routeHopsToKeys routes each query to an arbitrary key target.
+// routeHopsToKeys routes each query to an arbitrary key target, sources
+// drawn deterministically from seed.
 func routeHopsToKeys(nw *smallworld.Network, seed uint64, targets []keyspace.Key) []float64 {
+	ov := overlaynet.WrapNetwork(nw)
 	rng := xrand.New(seed)
-	srcs := make([]int, len(targets))
-	for i := range srcs {
-		srcs[i] = rng.Intn(nw.N())
+	qs := make([]overlaynet.Query, len(targets))
+	for i := range qs {
+		qs[i] = overlaynet.Query{Src: rng.Intn(nw.N()), Target: targets[i]}
 	}
-	hops := make([]float64, len(targets))
-	routeChunks(len(targets), func(lo, hi int) {
-		router := nw.NewRouter()
-		for i := lo; i < hi; i++ {
-			rt := router.RouteGreedy(srcs[i], targets[i])
-			if rt.Arrived {
-				hops[i] = float64(rt.Hops())
-			} else {
-				hops[i] = float64(nw.N())
-			}
-		}
-	})
-	return hops
+	qr := overlaynet.NewQueryRunner(ov, overlaynet.FailHops(float64(nw.N())))
+	batch, err := qr.Run(context.Background(), qs)
+	if err != nil {
+		return failedHops(len(targets), nw.N())
+	}
+	return batch.Hops
 }
 
-// routeChunks splits [0, n) into one contiguous chunk per GOMAXPROCS
-// worker and runs them concurrently.
-func routeChunks(n int, run func(lo, hi int)) {
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			run(lo, hi)
-		}(lo, hi)
+// failedHops is an all-sentinel hop slice: every query failed.
+func failedHops(queries, n int) []float64 {
+	hops := make([]float64, queries)
+	for i := range hops {
+		hops[i] = float64(n)
 	}
-	wg.Wait()
+	return hops
 }
 
 // log2 is a float shorthand.

@@ -1,11 +1,11 @@
 package exp
 
 import (
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
+	"smallworld"
+	"smallworld/dist"
 	"smallworld/internal/overlay"
-	"smallworld/internal/smallworld"
+	"smallworld/keyspace"
+	"smallworld/metrics"
 )
 
 // E10JoinProtocol validates the Section 4.2 construction protocol in its

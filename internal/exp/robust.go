@@ -3,11 +3,11 @@ package exp
 import (
 	"math"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
-	"smallworld/internal/xrand"
+	"smallworld"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 // E6Robustness validates the Section 3.1 robustness remark: even after

@@ -3,10 +3,10 @@ package exp
 import (
 	"fmt"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/smallworld"
+	"smallworld"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
 )
 
 // theoremC is the constant c = 1 - e^(-1/(3·ln2)) from the Theorem 1

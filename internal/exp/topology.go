@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"context"
+	"math"
+
+	"smallworld/metrics"
+	"smallworld/overlaynet"
+)
+
+// TopologyBench benchmarks one registered overlay topology across the
+// scale's size sweep through the public overlaynet path: Build by name,
+// route a QueryRunner batch, report hop and routing-state aggregates.
+// It is the registry-driven mode behind `swbench -topology <name>`.
+func TopologyBench(name string, scale Scale, seed uint64) Table {
+	t := Table{
+		ID:      "T0",
+		Title:   "registry topology benchmark — " + name + " via overlaynet.Build + QueryRunner",
+		Columns: []string{"N", "meanHops", "p99", "mean/log2N", "arrived%", "meanTable", "maxTable"},
+	}
+	info, ok := overlaynet.Lookup(name)
+	if !ok {
+		t.AddNote("unknown topology %q; -list prints the registry", name)
+		return t
+	}
+	t.AddNote("%s: %s", info.Name, info.Description)
+	q := queriesFor(scale)
+	for _, n := range sizesFor(scale) {
+		ov, err := overlaynet.Build(context.Background(), name, overlaynet.Options{N: n, Seed: seed})
+		if err != nil {
+			t.AddNote("build failed for N=%d: %v", n, err)
+			continue
+		}
+		qr := overlaynet.NewQueryRunner(ov, overlaynet.FailHops(float64(n)))
+		batch, err := qr.Run(context.Background(), overlaynet.RandomPairs(ov, seed+1, q))
+		if err != nil {
+			t.AddNote("run failed for N=%d: %v", n, err)
+			continue
+		}
+		stats := ov.Stats()
+		mean := metrics.Mean(batch.Hops)
+		t.AddRow(n, mean, metrics.Percentile(batch.Hops, 0.99),
+			mean/math.Log2(float64(n)),
+			100*float64(batch.Arrived)/float64(batch.Executed),
+			stats.MeanDegree, stats.MaxDegree)
+	}
+	return t
+}

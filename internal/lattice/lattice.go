@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"math"
 
-	"smallworld/internal/xrand"
+	"smallworld/xrand"
 )
 
 // Config describes a Kleinberg lattice.

@@ -3,8 +3,8 @@ package lattice
 import (
 	"testing"
 
-	"smallworld/internal/metrics"
-	"smallworld/internal/xrand"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 func mustBuild(t *testing.T, cfg Config) *Network {

@@ -7,10 +7,10 @@
 package loadbalance
 
 import (
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 // Loads assigns every data key to its closest node under the topology

@@ -4,9 +4,9 @@ import (
 	"math"
 	"testing"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
 )
 
 func TestLoadsAssignAll(t *testing.T) {

@@ -26,9 +26,9 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
 )
 
 // Peer is one overlay node. Its link state is guarded by the network
@@ -267,6 +267,15 @@ func (p *Peer) links() []*Peer {
 	}
 	out = append(out, p.long...)
 	return out
+}
+
+// Links returns a snapshot of p's current out-links (ring neighbours
+// plus long-range links). Safe for concurrent use; the caller owns the
+// returned slice.
+func (nw *Network) Links(p *Peer) []*Peer {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return p.links()
 }
 
 // Lookup routes from peer `from` to the peer closest to target, counting

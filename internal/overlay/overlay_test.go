@@ -5,10 +5,10 @@ import (
 	"sync"
 	"testing"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/metrics"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/metrics"
+	"smallworld/xrand"
 )
 
 func bootstrapped(t *testing.T, cfg Config, n int) *Network {

@@ -11,9 +11,9 @@ package wattsstrogatz
 import (
 	"fmt"
 
-	"smallworld/internal/graph"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/xrand"
+	"smallworld/graph"
+	"smallworld/keyspace"
+	"smallworld/xrand"
 )
 
 // Config describes a Watts–Strogatz graph.
@@ -92,12 +92,19 @@ func (nw *Network) Key(u int) keyspace.Key {
 // routing no usable gradient: expect frequent long walks along the
 // lattice even when short paths exist.
 func (nw *Network) RouteGreedy(src, dst int) (hops int, arrived bool) {
+	hops, _, arrived = nw.Route(src, dst)
+	return hops, arrived
+}
+
+// Route is RouteGreedy reporting the terminal node as well: the node at
+// which greedy routing stopped, whether or not it is dst.
+func (nw *Network) Route(src, dst int) (hops, last int, arrived bool) {
 	target := nw.Key(dst)
 	cur := src
 	dCur := keyspace.Ring.Distance(nw.Key(cur), target)
 	for step := 0; step <= nw.cfg.N; step++ {
 		if cur == dst {
-			return hops, true
+			return hops, cur, true
 		}
 		best, bestD := -1, dCur
 		for _, v := range nw.g.Out(cur) {
@@ -106,12 +113,12 @@ func (nw *Network) RouteGreedy(src, dst int) (hops int, arrived bool) {
 			}
 		}
 		if best == -1 {
-			return hops, false
+			return hops, cur, false
 		}
 		cur, dCur = best, bestD
 		hops++
 	}
-	return hops, false
+	return hops, cur, false
 }
 
 // Stats reports the two structural small-world measures of the original

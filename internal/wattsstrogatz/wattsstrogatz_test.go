@@ -3,7 +3,7 @@ package wattsstrogatz
 import (
 	"testing"
 
-	"smallworld/internal/xrand"
+	"smallworld/xrand"
 )
 
 func mustBuild(t *testing.T, cfg Config) *Network {

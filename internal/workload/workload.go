@@ -7,9 +7,9 @@ package workload
 import (
 	"fmt"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/keyspace"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
 )
 
 // TargetKind selects how query targets are drawn.

@@ -3,8 +3,8 @@ package workload
 import (
 	"testing"
 
-	"smallworld/internal/dist"
-	"smallworld/internal/xrand"
+	"smallworld/dist"
+	"smallworld/xrand"
 )
 
 func TestTargetsUniform(t *testing.T) {

@@ -1,0 +1,288 @@
+package smallworld
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"smallworld/graph"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// Network is an immutable small-world overlay built by Build. Node indices
+// are ranks in key order: node i holds the i-th smallest identifier, so
+// node i's ring/line neighbours are i-1 and i+1.
+type Network struct {
+	cfg  Config
+	keys keyspace.Points // sorted identifiers
+	norm []float64       // norm[i] = F(keys[i]), the image of node i in R'
+	mpos []float64       // measure-space positions: norm (Mass) or keys (Geometric)
+	g    *graph.Graph    // mutable adjacency — kept for failure injection/analysis
+	csr  *graph.CSR      // frozen flat adjacency — every routing hot path reads this
+	long [][]int32       // long-range targets per node (subset of g)
+
+	shortfall int // long-range links that could not be placed
+
+	routers sync.Pool // *Router scratch for the allocating convenience API
+}
+
+// Build constructs the overlay described by cfg. The same cfg and seed
+// always produce the same network, regardless of Workers.
+func Build(cfg Config) (*Network, error) {
+	return BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build with cooperative cancellation: the long-range
+// sampling phase checks ctx between nodes, and a cancelled build returns
+// ctx.Err() instead of a network. A build that completes is bit-identical
+// to one from Build with the same cfg.
+func BuildContext(ctx context.Context, cfg Config) (*Network, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var smp sampler
+	switch cfg.Sampler {
+	case Exact:
+		smp = exactSampler{}
+	case Protocol:
+		smp = protocolSampler{}
+	default:
+		return nil, fmt.Errorf("smallworld: unknown sampler %v", cfg.Sampler)
+	}
+	return build(ctx, cfg, smp)
+}
+
+// build runs the construction with an explicit sampler implementation
+// (tests and benchmarks inject naiveExactSampler here).
+func build(ctx context.Context, cfg Config, smp sampler) (*Network, error) {
+	master := xrand.New(cfg.Seed)
+
+	keys, err := placeKeys(cfg, master)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		cfg:  cfg,
+		keys: keys,
+		norm: make([]float64, cfg.N),
+		g:    graph.New(cfg.N),
+		long: make([][]int32, cfg.N),
+	}
+	for i, k := range keys {
+		nw.norm[i] = cfg.Dist.CDF(float64(k))
+	}
+	// Measure-space positions: ascending in node order for both measures
+	// (keys are sorted; the CDF is monotone). The exact sampler's band
+	// searches index into this array.
+	if cfg.Measure == Mass {
+		nw.mpos = nw.norm
+	} else {
+		nw.mpos = make([]float64, cfg.N)
+		for i, k := range keys {
+			nw.mpos[i] = float64(k)
+		}
+	}
+	nw.addNeighborEdges()
+
+	// Derive one deterministic seed per node before fanning out, so the
+	// result does not depend on scheduling.
+	seeds := make([]uint64, cfg.N)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	degree := cfg.Degree(cfg.N)
+	if degree < 0 {
+		return nil, fmt.Errorf("smallworld: negative degree %d", degree)
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &samplerScratch{} // per-worker scratch, reused across nodes
+			for u := range work {
+				if ctx.Err() != nil {
+					continue // drain remaining work after cancellation
+				}
+				rng := xrand.New(seeds[u])
+				nw.long[u] = smp.sampleLinks(nw, u, degree, rng, sc)
+			}
+		}()
+	}
+	for u := 0; u < cfg.N; u++ {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	for u := 0; u < cfg.N; u++ {
+		nw.g.AddEdges(u, nw.long[u])
+		nw.shortfall += degree - len(nw.long[u])
+	}
+	nw.csr = nw.g.Freeze()
+	return nw, nil
+}
+
+// placeKeys samples (or copies) and sorts the peer identifiers, resolving
+// exact duplicates.
+func placeKeys(cfg Config, master *xrand.Stream) (keyspace.Points, error) {
+	ks := make([]keyspace.Key, cfg.N)
+	if cfg.Keys != nil {
+		copy(ks, cfg.Keys)
+	} else {
+		rng := master.Split()
+		for i := range ks {
+			ks[i] = keyspace.Clamp(cfg.Dist.Quantile(rng.Float64()))
+		}
+	}
+	pts := keyspace.SortPoints(ks)
+	for i := 1; i < len(pts); i++ {
+		if pts[i] == pts[i-1] {
+			if cfg.Keys != nil {
+				return nil, fmt.Errorf("smallworld: duplicate fixed key %v", pts[i])
+			}
+			// Nudge sampled duplicates apart; astronomically rare with
+			// float64 sampling but cheap to make impossible.
+			next := keyspace.Key(math.Nextafter(float64(pts[i-1]), 1))
+			if i+1 < len(pts) && next >= pts[i+1] {
+				return nil, fmt.Errorf("smallworld: cannot separate duplicate key %v", pts[i])
+			}
+			pts[i] = next
+		}
+	}
+	return pts, nil
+}
+
+// addNeighborEdges installs the paper's neighbouring edges NE: successor
+// and predecessor in key order (wrapping only on the ring).
+func (nw *Network) addNeighborEdges() {
+	n := nw.cfg.N
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			nw.g.AddEdge(i, i+1)
+			nw.g.AddEdge(i+1, i)
+		}
+	}
+	if nw.cfg.Topology == keyspace.Ring && n > 2 {
+		nw.g.AddEdge(n-1, 0)
+		nw.g.AddEdge(0, n-1)
+	}
+}
+
+// isNeighborIndex reports whether v is one of u's neighbouring-edge
+// targets.
+func (nw *Network) isNeighborIndex(u, v int) bool {
+	n := nw.cfg.N
+	if v == u+1 || v == u-1 {
+		return true
+	}
+	if nw.cfg.Topology == keyspace.Ring {
+		if (u == 0 && v == n-1) || (u == n-1 && v == 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// measureBetween returns the configured selection measure between nodes
+// u and v: geometric key distance or probability mass.
+func (nw *Network) measureBetween(u, v int) float64 {
+	if nw.cfg.Measure == Mass {
+		m := math.Abs(nw.norm[u] - nw.norm[v])
+		if nw.cfg.Topology == keyspace.Ring && m > 0.5 {
+			m = 1 - m
+		}
+		return m
+	}
+	return nw.cfg.Topology.Distance(nw.keys[u], nw.keys[v])
+}
+
+// NormalizedMass returns the distance between the images of u and v in
+// the normalised space R' (equal to the probability mass between them).
+func (nw *Network) NormalizedMass(u, v int) float64 {
+	m := math.Abs(nw.norm[u] - nw.norm[v])
+	if nw.cfg.Topology == keyspace.Ring && m > 0.5 {
+		m = 1 - m
+	}
+	return m
+}
+
+// Config returns the (defaulted) configuration the network was built with.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// N returns the number of peers.
+func (nw *Network) N() int { return nw.cfg.N }
+
+// Keys returns the sorted identifiers; index = node id. The slice must
+// not be modified.
+func (nw *Network) Keys() keyspace.Points { return nw.keys }
+
+// Key returns node u's identifier.
+func (nw *Network) Key(u int) keyspace.Key { return nw.keys[u] }
+
+// Norm returns F(key(u)), node u's position in the normalised space R'.
+func (nw *Network) Norm(u int) float64 { return nw.norm[u] }
+
+// Graph returns the underlying directed graph (neighbour + long-range
+// edges). It must not be modified; use Clone for experiments that
+// mutate it.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// CSR returns the frozen compressed-sparse-row snapshot of the overlay
+// graph — the flat adjacency every routing hot path iterates. It must
+// not be modified.
+func (nw *Network) CSR() *graph.CSR { return nw.csr }
+
+// LongRange returns node u's long-range targets. The slice must not be
+// modified.
+func (nw *Network) LongRange(u int) []int32 { return nw.long[u] }
+
+// Shortfall returns how many long-range links could not be placed
+// (sampling exhausted, e.g. in tiny networks).
+func (nw *Network) Shortfall() int { return nw.shortfall }
+
+// ClosestNode returns the node whose identifier is closest to target.
+func (nw *Network) ClosestNode(target keyspace.Key) int {
+	return nw.keys.Nearest(nw.cfg.Topology, target)
+}
+
+// WithFailedLinks returns a copy of the network in which each long-range
+// edge has been removed independently with probability frac, modelling
+// partial routing-table loss under churn (the Section 3.1 robustness
+// observation). Neighbouring edges are never removed, so the overlay
+// stays connected. The copy shares the identifier storage with nw.
+func (nw *Network) WithFailedLinks(r *xrand.Stream, frac float64) *Network {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	derived := &Network{
+		cfg:  nw.cfg,
+		keys: nw.keys,
+		norm: nw.norm,
+		mpos: nw.mpos,
+		g:    nw.g.Clone(),
+		long: make([][]int32, nw.cfg.N),
+	}
+	for u, links := range nw.long {
+		for _, v := range links {
+			if r.Bool(frac) {
+				derived.g.RemoveEdge(u, int(v))
+			} else {
+				derived.long[u] = append(derived.long[u], v)
+			}
+		}
+	}
+	derived.csr = derived.g.Freeze()
+	return derived
+}

@@ -1,0 +1,80 @@
+package overlaynet
+
+import (
+	"fmt"
+	"math"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+)
+
+// Options parameterises Build. One struct covers every registered
+// topology; fields a topology does not use are ignored by its builder,
+// and every zero value means "the topology's documented default", so
+// Options{N: n, Seed: s} builds a sensible instance of anything.
+type Options struct {
+	// N is the number of nodes. Required, >= 2 for every topology.
+	N int
+	// Seed drives all randomness: the same (name, Options) pair always
+	// builds an identical overlay.
+	Seed uint64
+	// Dist is the identifier density f. Nil means uniform. Used by the
+	// small-world family, P-Grid, Symphony/Mercury, CAN and the
+	// protocol simulation.
+	Dist dist.Distribution
+	// Topology selects the key-space geometry for the small-world
+	// family: the zero value is keyspace.Line (the theorems' interval
+	// setting, matching smallworld.Config); pass keyspace.Ring for the
+	// wrap-around geometry. Ring-native overlays ignore it.
+	Topology keyspace.Topology
+	// Degree is the number of long-range links per node. 0 means the
+	// topology default: ceil(log2 N) for the small-world models and
+	// Symphony/Mercury, 4 for Kleinberg, lattice degree 8 for
+	// Watts–Strogatz.
+	Degree int
+	// Exponent is the link-selection exponent r of the small-world
+	// family. 0 means 1, the harmonic (routing-efficient) choice.
+	Exponent float64
+	// Sampler selects the small-world link sampler: "protocol" (default)
+	// or "exact".
+	Sampler string
+	// RewireP is the Watts–Strogatz rewiring probability. 0 means 0.1,
+	// the classic small-world regime.
+	RewireP float64
+	// Dims is CAN's dimensionality. 0 means 2.
+	Dims int
+	// BitsPerDigit is Pastry's digit width b. 0 means 4.
+	BitsPerDigit uint
+	// Oracle gives protocol-simulation peers exact knowledge of f and N
+	// (the paper's "straightforward" case). False means peers estimate
+	// both from random walks.
+	Oracle bool
+	// Workers bounds construction parallelism where builds are parallel
+	// (the small-world family). 0 means GOMAXPROCS.
+	Workers int
+}
+
+// validate rejects option values no builder can accept.
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("overlaynet: N = %d, need at least 2 nodes", o.N)
+	}
+	if o.Degree < 0 {
+		return fmt.Errorf("overlaynet: negative degree %d", o.Degree)
+	}
+	if math.IsNaN(o.Exponent) || math.IsInf(o.Exponent, 0) || o.Exponent < 0 {
+		return fmt.Errorf("overlaynet: exponent %v must be finite and non-negative", o.Exponent)
+	}
+	if math.IsNaN(o.RewireP) || o.RewireP < 0 || o.RewireP > 1 {
+		return fmt.Errorf("overlaynet: rewire probability %v outside [0,1]", o.RewireP)
+	}
+	return nil
+}
+
+// dist returns the configured identifier density, defaulting to uniform.
+func (o Options) dist() dist.Distribution {
+	if o.Dist == nil {
+		return dist.Uniform{}
+	}
+	return o.Dist
+}

@@ -1,0 +1,115 @@
+package overlaynet
+
+import (
+	"context"
+	"fmt"
+
+	"smallworld/internal/overlay"
+	"smallworld/keyspace"
+)
+
+func init() {
+	Register(Info{
+		Name:        "protocol",
+		Description: "live Section 4.2 construction protocol: peers join by routing to themselves (Dynamic)",
+		Build: func(ctx context.Context, opts Options) (Overlay, error) {
+			nw := overlay.New(overlay.Config{
+				Dist:   opts.Dist,
+				Oracle: opts.Oracle,
+				Seed:   opts.Seed,
+			})
+			if err := nw.Bootstrap(opts.N); err != nil {
+				return nil, err
+			}
+			o := &protoOverlay{nw: nw}
+			o.snapshot()
+			return o, nil
+		},
+	})
+}
+
+// protoOverlay adapts the live protocol simulation. Unlike the static
+// adapters it implements Dynamic: Join and Leave mutate the underlying
+// network and re-snapshot the peer set, invalidating node indices.
+type protoOverlay struct {
+	nw    *overlay.Network
+	peers []*overlay.Peer
+	index map[*overlay.Peer]int
+	keys  []keyspace.Key
+	pts   keyspace.Points // sorted copy of keys, for nearest-owner checks
+}
+
+// snapshot refreshes the node-index view of the live peer set.
+func (o *protoOverlay) snapshot() {
+	o.peers = o.nw.Peers()
+	o.index = make(map[*overlay.Peer]int, len(o.peers))
+	o.keys = make([]keyspace.Key, len(o.peers))
+	for i, p := range o.peers {
+		o.index[p] = i
+		o.keys[i] = p.ID
+	}
+	sorted := append([]keyspace.Key(nil), o.keys...)
+	o.pts = keyspace.SortPoints(sorted)
+}
+
+func (o *protoOverlay) Kind() string           { return "protocol" }
+func (o *protoOverlay) N() int                 { return len(o.peers) }
+func (o *protoOverlay) Key(u int) keyspace.Key { return o.keys[u] }
+func (o *protoOverlay) Keys() []keyspace.Key   { return o.keys }
+func (o *protoOverlay) Stats() Stats           { return statsOf(o) }
+
+func (o *protoOverlay) Neighbors(u int) []int32 {
+	links := o.nw.Links(o.peers[u])
+	out := make([]int32, 0, len(links))
+	for _, q := range links {
+		if i, ok := o.index[q]; ok {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func (o *protoOverlay) NewRouter() Router { return protoRouter{o: o} }
+
+// Join implements Dynamic via the Section 4.2 join protocol.
+func (o *protoOverlay) Join(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if _, _, err := o.nw.Join(); err != nil {
+		return err
+	}
+	o.snapshot()
+	return nil
+}
+
+// Leave implements Dynamic: node u departs and affected peers repair
+// their long links.
+func (o *protoOverlay) Leave(ctx context.Context, u int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if u < 0 || u >= len(o.peers) {
+		return fmt.Errorf("overlaynet: leave of unknown node %d", u)
+	}
+	o.nw.Leave(o.peers[u], true)
+	o.snapshot()
+	return nil
+}
+
+type protoRouter struct {
+	o *protoOverlay
+}
+
+func (r protoRouter) Route(src int, target keyspace.Key) Result {
+	term, hops := r.o.nw.Lookup(r.o.peers[src], target)
+	dest, ok := r.o.index[term]
+	if !ok {
+		// The peer set changed under a stale router.
+		return Result{Hops: hops, Dest: -1}
+	}
+	owner := r.o.pts.Nearest(keyspace.Ring, target)
+	arrived := keyspace.Ring.Distance(term.ID, target) <=
+		keyspace.Ring.Distance(r.o.pts[owner], target)
+	return Result{Hops: hops, Dest: dest, Arrived: arrived}
+}

@@ -1,0 +1,82 @@
+package overlaynet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// BuildFunc constructs one topology from validated options.
+type BuildFunc func(ctx context.Context, opts Options) (Overlay, error)
+
+// Info describes one registered topology.
+type Info struct {
+	// Name is the registry key (lower-case, stable across releases).
+	Name string
+	// Description is a one-line human summary, printed by the -list
+	// flags of cmd/swsim and cmd/swbench.
+	Description string
+	// Build constructs the topology.
+	Build BuildFunc
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Info
+}{m: make(map[string]Info)}
+
+// Register adds a topology to the process-global registry. It panics on
+// an empty name, nil builder, or duplicate registration — registration
+// happens in package init, where a panic is a programming error caught
+// by the first test run.
+func Register(info Info) {
+	if info.Name == "" || info.Build == nil {
+		panic("overlaynet: Register needs a name and a build function")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[info.Name]; dup {
+		panic(fmt.Sprintf("overlaynet: topology %q registered twice", info.Name))
+	}
+	registry.m[info.Name] = info
+}
+
+// Lookup returns the registration for name — see Names for the full
+// set.
+func Lookup(name string) (Info, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	info, ok := registry.m[name]
+	return info, ok
+}
+
+// Names returns the registered topology names in sorted order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs the named topology. The same (name, opts) pair always
+// produces an identical overlay; ctx cancels long-running constructions.
+func Build(ctx context.Context, name string, opts Options) (Overlay, error) {
+	info, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("overlaynet: unknown topology %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return info.Build(ctx, opts)
+}

@@ -1,0 +1,188 @@
+package overlaynet
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// Query is one routing request: from node Src to the peer responsible
+// for Target.
+type Query struct {
+	Src    int
+	Target keyspace.Key
+}
+
+// Batch is the result of one QueryRunner.Run. Its slices alias the
+// runner's reusable scratch: they are valid until the next Run on the
+// same runner, and callers that need them longer must copy.
+type Batch struct {
+	// Hops holds the per-query hop counts, indexed like the query slice.
+	// Queries that failed to arrive record the runner's fail-hops
+	// sentinel (NaN by default; see FailHops).
+	Hops []float64
+	// Arrived counts the queries whose route terminated at a correct
+	// destination.
+	Arrived int
+	// Executed counts the queries actually routed — less than the batch
+	// size only when the context was cancelled mid-run.
+	Executed int
+}
+
+// Option configures a QueryRunner.
+type Option func(*QueryRunner)
+
+// Workers bounds routing parallelism. The default is GOMAXPROCS; with
+// exactly one worker the runner routes inline on the calling goroutine,
+// which keeps the steady state completely allocation-free.
+func Workers(n int) Option {
+	return func(qr *QueryRunner) {
+		if n > 0 {
+			qr.workers = n
+		}
+	}
+}
+
+// FailHops sets the hop value recorded for queries that do not arrive
+// (default NaN). Experiments penalising failures pass the network size,
+// making any regression obvious in every aggregate.
+func FailHops(h float64) Option {
+	return func(qr *QueryRunner) { qr.failHops = h }
+}
+
+// cancelCheckEvery is how many queries a worker routes between context
+// checks: frequent enough that cancellation is prompt, rare enough that
+// the check never shows up in a profile.
+const cancelCheckEvery = 64
+
+// QueryRunner routes query batches over one overlay with bounded
+// parallelism and cooperative cancellation. It amortises all scratch
+// state — one Router per worker plus the result buffers — across Run
+// calls, so the steady state allocates nothing per query (and, with
+// Workers(1), nothing per batch either). A QueryRunner is not safe for
+// concurrent use; create one per experiment loop.
+type QueryRunner struct {
+	ov       Overlay
+	workers  int
+	failHops float64
+
+	routers []Router
+	hops    []float64
+	arrived []int // per-worker arrival counts, padded writes avoided by locality
+	done    []int // per-worker executed counts
+}
+
+// NewQueryRunner returns a runner over ov with the given options
+// applied.
+func NewQueryRunner(ov Overlay, opts ...Option) *QueryRunner {
+	qr := &QueryRunner{ov: ov, workers: runtime.GOMAXPROCS(0), failHops: math.NaN()}
+	for _, opt := range opts {
+		opt(qr)
+	}
+	return qr
+}
+
+// Run routes every query in qs and returns the per-query hop counts.
+// Queries are partitioned into one contiguous chunk per worker; each
+// worker routes its chunk through its own Router, checking ctx every
+// few dozen queries. On cancellation Run returns the context error and
+// a batch whose Executed count reflects the work actually done (the
+// Hops entries of unexecuted queries are zero).
+func (qr *QueryRunner) Run(ctx context.Context, qs []Query) (Batch, error) {
+	n := len(qs)
+	if cap(qr.hops) < n {
+		qr.hops = make([]float64, n)
+	}
+	qr.hops = qr.hops[:n]
+	clear(qr.hops) // a cancelled run must not leak the previous batch's hops
+	workers := qr.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(qr.routers) < workers {
+		qr.routers = append(qr.routers, qr.ov.NewRouter())
+	}
+	if len(qr.arrived) < workers {
+		qr.arrived = make([]int, workers)
+		qr.done = make([]int, workers)
+	}
+	for w := 0; w < workers; w++ {
+		qr.arrived[w] = 0
+		qr.done[w] = 0
+	}
+
+	if workers == 1 {
+		qr.runChunk(ctx, qs, 0, n, 0)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, n)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi, w int) {
+				defer wg.Done()
+				qr.runChunk(ctx, qs, lo, hi, w)
+			}(lo, hi, w)
+		}
+		wg.Wait()
+	}
+
+	batch := Batch{Hops: qr.hops}
+	for w := 0; w < workers; w++ {
+		batch.Arrived += qr.arrived[w]
+		batch.Executed += qr.done[w]
+	}
+	if err := ctx.Err(); err != nil {
+		return batch, err
+	}
+	return batch, nil
+}
+
+// runChunk routes qs[lo:hi] on worker w's router.
+func (qr *QueryRunner) runChunk(ctx context.Context, qs []Query, lo, hi, w int) {
+	router := qr.routers[w]
+	arrived, done := 0, 0
+	for i := lo; i < hi; i++ {
+		if done%cancelCheckEvery == 0 && ctx.Err() != nil {
+			break
+		}
+		res := router.Route(qs[i].Src, qs[i].Target)
+		if res.Arrived {
+			arrived++
+			qr.hops[i] = float64(res.Hops)
+		} else {
+			qr.hops[i] = qr.failHops
+		}
+		done++
+	}
+	qr.arrived[w] = arrived
+	qr.done[w] = done
+}
+
+// RandomPairs returns count node-to-node queries over ov, drawn
+// deterministically from seed: uniformly random source and destination
+// nodes, the destination's identifier as the target. The draw order
+// (source then destination, one pair per query) is part of the format:
+// experiment tables depend on it staying stable across releases.
+func RandomPairs(ov Overlay, seed uint64, count int) []Query {
+	rng := xrand.New(seed)
+	qs := make([]Query, count)
+	n := ov.N()
+	for i := range qs {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		qs[i] = Query{Src: src, Target: ov.Key(dst)}
+	}
+	return qs
+}

@@ -1,0 +1,45 @@
+package overlaynet
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkQueryRunner measures the batched query engine's steady state
+// on the zero-allocation small-world path. With Workers(1) the runner
+// routes inline, so allocs/op must read 0 (part of the acceptance bar);
+// the parallel variant amortises its per-batch goroutine spawns over
+// 1024 queries.
+func BenchmarkQueryRunner(b *testing.B) {
+	ov := buildTestOverlay(b, 4096)
+	qs := RandomPairs(ov, 2, 1024)
+	ctx := context.Background()
+
+	b.Run("single-worker-batch1024", func(b *testing.B) {
+		qr := NewQueryRunner(ov, Workers(1))
+		if _, err := qr.Run(ctx, qs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := qr.Run(ctx, qs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("parallel-batch1024", func(b *testing.B) {
+		qr := NewQueryRunner(ov)
+		if _, err := qr.Run(ctx, qs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := qr.Run(ctx, qs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package smallworld
+
+import (
+	"math"
+
+	"smallworld/keyspace"
+)
+
+// Range queries are the reason the paper exists: data-oriented P2P
+// applications must preserve key order to answer them, which forces
+// skewed peer populations and hence Model 2. A range query routes
+// greedily to the start of the interval and then walks successor
+// neighbour edges across every peer whose responsibility region
+// intersects the interval — each walk step is one overlay hop.
+
+// Cell returns node u's responsibility region: the set of keys closer to
+// u than to any other node, i.e. the Voronoi cell between the midpoints
+// toward its neighbours. On the line the first and last cells extend to
+// the ends of the key space.
+func (nw *Network) Cell(u int) keyspace.Interval {
+	n := nw.cfg.N
+	var lo, hi keyspace.Key
+	if nw.cfg.Topology == keyspace.Ring {
+		prev := nw.keys[(u+n-1)%n]
+		next := nw.keys[(u+1)%n]
+		lo = midpointOnRing(prev, nw.keys[u])
+		hi = midpointOnRing(nw.keys[u], next)
+		return keyspace.Interval{Lo: lo, Hi: hi}
+	}
+	if u == 0 {
+		lo = 0
+	} else {
+		lo = keyspace.Key((float64(nw.keys[u-1]) + float64(nw.keys[u])) / 2)
+	}
+	if u == n-1 {
+		hi = keyspace.Key(math.Nextafter(1, 2)) // cover the top end inclusively
+	} else {
+		hi = keyspace.Key((float64(nw.keys[u]) + float64(nw.keys[u+1])) / 2)
+	}
+	return keyspace.Interval{Lo: lo, Hi: hi}
+}
+
+// midpointOnRing returns the midpoint of the clockwise arc from a to b.
+func midpointOnRing(a, b keyspace.Key) keyspace.Key {
+	arc := float64(keyspace.Wrap(float64(b) - float64(a)))
+	return keyspace.Wrap(float64(a) + arc/2)
+}
+
+// RangeResult reports a range lookup.
+type RangeResult struct {
+	// Locate is the greedy route to the first responsible node.
+	Locate Route
+	// Nodes lists every node whose cell intersects the interval, in key
+	// order starting at the interval's low end.
+	Nodes []int
+	// WalkHops counts the successor hops taken after arrival.
+	WalkHops int
+}
+
+// Hops returns the total overlay hops: locate plus walk.
+func (r RangeResult) Hops() int { return r.Locate.Hops() + r.WalkHops }
+
+// RangeLookup resolves every node responsible for some key in iv,
+// starting from src. The locate phase costs O(log N) hops (Theorem 1/2);
+// the walk phase costs one hop per responsible node — the minimum any
+// order-preserving overlay can achieve.
+func (nw *Network) RangeLookup(src int, iv keyspace.Interval) RangeResult {
+	res := RangeResult{Locate: nw.RouteGreedy(src, iv.Lo)}
+	if iv.Empty() {
+		return res
+	}
+	n := nw.cfg.N
+	cur := res.Locate.Path[len(res.Locate.Path)-1]
+	// The greedy terminal is the node closest to iv.Lo; the responsible
+	// node for iv.Lo is the one whose cell contains it, at most one
+	// neighbour step away.
+	for i := 0; i < 2 && !nw.Cell(cur).Contains(iv.Lo); i++ {
+		if nw.Cell(prevIndex(cur, n, nw.cfg.Topology)).Contains(iv.Lo) {
+			cur = prevIndex(cur, n, nw.cfg.Topology)
+			res.WalkHops++
+		} else if nw.Cell(nextIndex(cur, n, nw.cfg.Topology)).Contains(iv.Lo) {
+			cur = nextIndex(cur, n, nw.cfg.Topology)
+			res.WalkHops++
+		}
+	}
+	// Walk successors until the covered arc from iv.Lo reaches the
+	// interval length. Tracking covered length (not "does this cell
+	// contain iv.Hi") is what makes wrapping intervals work: for a
+	// nearly-full ring interval the *first* cell can contain iv.Hi on
+	// the wrong side of iv.Lo.
+	length := iv.Length()
+	for steps := 0; steps < n; steps++ {
+		res.Nodes = append(res.Nodes, cur)
+		cellHi := nw.Cell(cur).Hi
+		var covered float64
+		if nw.cfg.Topology == keyspace.Ring {
+			covered = float64(keyspace.Wrap(float64(cellHi) - float64(iv.Lo)))
+		} else {
+			covered = float64(cellHi) - float64(iv.Lo)
+		}
+		if covered >= length {
+			break
+		}
+		next := nextIndex(cur, n, nw.cfg.Topology)
+		if next == cur || next == res.Nodes[0] {
+			break // wrapped all the way around (interval covers everyone)
+		}
+		cur = next
+		res.WalkHops++
+	}
+	return res
+}
+
+func nextIndex(u, n int, topo keyspace.Topology) int {
+	if u == n-1 {
+		if topo == keyspace.Ring {
+			return 0
+		}
+		return u
+	}
+	return u + 1
+}
+
+func prevIndex(u, n int, topo keyspace.Topology) int {
+	if u == 0 {
+		if topo == keyspace.Ring {
+			return n - 1
+		}
+		return u
+	}
+	return u - 1
+}

@@ -1,0 +1,153 @@
+package smallworld
+
+import (
+	"math"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+func TestCellsTileTheSpace(t *testing.T) {
+	for _, topo := range []keyspace.Topology{keyspace.Line, keyspace.Ring} {
+		cfg := SkewedConfig(128, dist.NewPower(0.6), 91)
+		cfg.Topology = topo
+		nw := mustBuild(t, cfg)
+		// Every cell contains its own key.
+		for u := 0; u < nw.N(); u++ {
+			if !nw.Cell(u).Contains(nw.Key(u)) {
+				t.Fatalf("%v: cell of %d does not contain its key", topo, u)
+			}
+		}
+		// Cell lengths sum to the whole space.
+		var total float64
+		for u := 0; u < nw.N(); u++ {
+			total += nw.Cell(u).Length()
+		}
+		if math.Abs(total-1) > 1e-6 {
+			t.Errorf("%v: cells cover %v of the space", topo, total)
+		}
+		// Random keys fall in exactly the closest node's cell.
+		r := xrand.New(92)
+		for i := 0; i < 300; i++ {
+			k := keyspace.Key(r.Float64())
+			owner := nw.ClosestNode(k)
+			if !nw.Cell(owner).Contains(k) {
+				// Boundary ties are legitimate: accept a neighbour whose
+				// cell contains k at equal distance.
+				if !nw.Cell(nextIndex(owner, nw.N(), topo)).Contains(k) &&
+					!nw.Cell(prevIndex(owner, nw.N(), topo)).Contains(k) {
+					t.Fatalf("%v: key %v outside closest node %d's cell %v", topo, k, owner, nw.Cell(owner))
+				}
+			}
+		}
+	}
+}
+
+func TestRangeLookupCoversInterval(t *testing.T) {
+	cfg := SkewedConfig(256, dist.NewTruncExp(5), 93)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	r := xrand.New(94)
+	for i := 0; i < 100; i++ {
+		lo := keyspace.Key(r.Float64())
+		width := 0.05 * r.Float64()
+		iv := keyspace.Interval{Lo: lo, Hi: keyspace.Wrap(float64(lo) + width)}
+		res := nw.RangeLookup(r.Intn(nw.N()), iv)
+		// Every node whose key is inside the interval must be reported.
+		want := map[int]bool{}
+		for u := 0; u < nw.N(); u++ {
+			if iv.Contains(nw.Key(u)) {
+				want[u] = true
+			}
+		}
+		got := map[int]bool{}
+		for _, u := range res.Nodes {
+			got[u] = true
+		}
+		for u := range want {
+			if !got[u] {
+				t.Fatalf("node %d (key %v) in %v missing from range result", u, nw.Key(u), iv)
+			}
+		}
+		// The result may additionally include the boundary cells but not
+		// arbitrary extras: every reported node's cell must intersect iv.
+		for _, u := range res.Nodes {
+			cell := nw.Cell(u)
+			if !cell.Contains(iv.Lo) && !iv.Contains(cell.Lo) && !cell.Contains(iv.Hi) {
+				t.Fatalf("node %d cell %v does not intersect %v", u, cell, iv)
+			}
+		}
+	}
+}
+
+func TestRangeLookupWalkCost(t *testing.T) {
+	cfg := UniformConfig(1024, 95)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	r := xrand.New(96)
+	for i := 0; i < 50; i++ {
+		lo := keyspace.Key(r.Float64())
+		iv := keyspace.Interval{Lo: lo, Hi: keyspace.Wrap(float64(lo) + 0.02)}
+		res := nw.RangeLookup(r.Intn(nw.N()), iv)
+		// Walk hops = nodes visited minus one, plus at most 2 boundary
+		// correction steps.
+		if res.WalkHops > len(res.Nodes)+1 {
+			t.Fatalf("walk hops %d vs %d nodes", res.WalkHops, len(res.Nodes))
+		}
+		if res.Hops() != res.Locate.Hops()+res.WalkHops {
+			t.Fatal("Hops() accounting wrong")
+		}
+	}
+}
+
+func TestRangeLookupEmptyInterval(t *testing.T) {
+	cfg := UniformConfig(64, 97)
+	nw := mustBuild(t, cfg)
+	res := nw.RangeLookup(0, keyspace.Interval{Lo: 0.5, Hi: 0.5})
+	if len(res.Nodes) != 0 {
+		t.Errorf("empty interval returned %d nodes", len(res.Nodes))
+	}
+}
+
+func TestRangeLookupWholeSpace(t *testing.T) {
+	cfg := UniformConfig(64, 98)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	// An interval covering almost everything returns every node exactly
+	// once and terminates.
+	iv := keyspace.Interval{Lo: 0.001, Hi: 0.0009}
+	res := nw.RangeLookup(5, iv)
+	if len(res.Nodes) < nw.N()-1 || len(res.Nodes) > nw.N() {
+		t.Errorf("whole-space range returned %d of %d nodes", len(res.Nodes), nw.N())
+	}
+	seen := map[int]bool{}
+	for _, u := range res.Nodes {
+		if seen[u] {
+			t.Fatal("node reported twice")
+		}
+		seen[u] = true
+	}
+}
+
+func TestRangeLookupLineTopology(t *testing.T) {
+	cfg := UniformConfig(128, 99)
+	cfg.Topology = keyspace.Line
+	nw := mustBuild(t, cfg)
+	iv := keyspace.Interval{Lo: 0.4, Hi: 0.6}
+	res := nw.RangeLookup(0, iv)
+	for u := 0; u < nw.N(); u++ {
+		if iv.Contains(nw.Key(u)) {
+			found := false
+			for _, v := range res.Nodes {
+				if v == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("line range missed node %d", u)
+			}
+		}
+	}
+}

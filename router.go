@@ -1,0 +1,225 @@
+package smallworld
+
+import (
+	"math"
+
+	"smallworld/keyspace"
+)
+
+// Router carries the scratch buffers of greedy routing so that the hot
+// path runs with zero steady-state heap allocations: the visited-path
+// buffer and the NoN lookahead mark table are allocated once and reused
+// across calls. A Router is bound to one network and is NOT safe for
+// concurrent use — experiments create one per worker goroutine
+// (exp.routeHops does exactly that).
+//
+// Routes returned by a Router alias its scratch buffers: the Path slice
+// is valid only until the next call on the same Router. Callers that
+// need the path to outlive the call must copy it (the allocating
+// Network.RouteGreedy wrappers do).
+type Router struct {
+	nw   *Network
+	path []int
+	mark []int32 // NoN lookahead dedup: mark[v] == gen means already scanned
+	gen  int32
+}
+
+// NewRouter returns a router with empty scratch bound to nw.
+func (nw *Network) NewRouter() *Router { return &Router{nw: nw} }
+
+// router fetches a pooled Router for the allocating convenience API.
+func (nw *Network) router() *Router {
+	if r, ok := nw.routers.Get().(*Router); ok {
+		return r
+	}
+	return nw.NewRouter()
+}
+
+// RouteToNode routes to another node's identifier.
+func (r *Router) RouteToNode(src, dst int) Route {
+	return r.RouteGreedy(src, r.nw.keys[dst])
+}
+
+// RouteGreedy routes a request from node src to the peer responsible for
+// target using greedy distance-minimising routing: each hop forwards to
+// the out-neighbour closest to the target, stopping when no out-neighbour
+// improves on the current node (Section 3's routing rule). With intact
+// neighbouring edges the stopping node is exactly the network-closest
+// node to the target.
+//
+// The inner loop is specialised per topology so the per-candidate
+// distance is a couple of arithmetic instructions on the flat CSR row
+// rather than a call through Topology.Distance.
+func (r *Router) RouteGreedy(src int, target keyspace.Key) Route {
+	if r.nw.cfg.Topology == keyspace.Ring {
+		return r.routeGreedyRing(src, target)
+	}
+	return r.routeGreedyLine(src, target)
+}
+
+func (r *Router) routeGreedyRing(src int, target keyspace.Key) Route {
+	nw := r.nw
+	keys, csr := nw.keys, nw.csr
+	tf := float64(target)
+	cur := src
+	r.path = append(r.path[:0], src)
+	dCur := ringDist(float64(keys[cur]), tf)
+	guard := maxHopsFor(nw.cfg.N)
+	for hops := 0; ; hops++ {
+		if hops >= guard {
+			return Route{Path: r.path, Truncated: true}
+		}
+		best, bestD := -1, dCur
+		bestKey := keys[cur]
+		for _, v := range csr.Out(cur) {
+			vKey := keys[v]
+			d := float64(vKey) - tf
+			if d < 0 {
+				d = -d
+			}
+			if d > 0.5 {
+				d = 1 - d
+			}
+			if d < bestD {
+				best, bestD, bestKey = int(v), d, vKey
+			} else if d == bestD && keyspace.Ring.Advances(bestKey, vKey, target) {
+				// Exact-tie plateau: advance along the arc (see better()).
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+		r.path = append(r.path, cur)
+	}
+	return Route{Path: r.path, Arrived: nw.isNearest(cur, target)}
+}
+
+func (r *Router) routeGreedyLine(src int, target keyspace.Key) Route {
+	nw := r.nw
+	keys, csr := nw.keys, nw.csr
+	tf := float64(target)
+	cur := src
+	r.path = append(r.path[:0], src)
+	dCur := math.Abs(float64(keys[cur]) - tf)
+	guard := maxHopsFor(nw.cfg.N)
+	for hops := 0; ; hops++ {
+		if hops >= guard {
+			return Route{Path: r.path, Truncated: true}
+		}
+		best, bestD := -1, dCur
+		bestKey := keys[cur]
+		for _, v := range csr.Out(cur) {
+			vKey := keys[v]
+			d := float64(vKey) - tf
+			if d < 0 {
+				d = -d
+			}
+			if d < bestD {
+				best, bestD, bestKey = int(v), d, vKey
+			} else if d == bestD && keyspace.Line.Advances(bestKey, vKey, target) {
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+		r.path = append(r.path, cur)
+	}
+	return Route{Path: r.path, Arrived: nw.isNearest(cur, target)}
+}
+
+// ringDist is the ring metric min(|u-v|, 1-|u-v|).
+func ringDist(u, v float64) float64 {
+	d := u - v
+	if d < 0 {
+		d = -d
+	}
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// RouteGreedyNoN routes with one-hop lookahead ("know thy neighbour's
+// neighbour", Manku et al., STOC 2004 — the paper's reference [10]):
+// each decision inspects neighbours and neighbours-of-neighbours, moves
+// to the best second-hop node via its intermediary, and falls back to
+// plain greedy steps when lookahead stops improving.
+//
+// Every hop scans each distinct second-hop candidate exactly once: the
+// current node and all first-hop candidates are stamped in the mark
+// table before the lookahead loop, and each fresh second-hop target is
+// stamped when first seen. The naive nested scan re-evaluates a target
+// once per intermediary that shares it — O(d²) distance evaluations per
+// hop on overlays whose neighbourhoods overlap heavily (they do: half of
+// every routing table is the same near-neighbour cluster). Skipping
+// direct neighbours in the lookahead is exact, not heuristic: a direct
+// neighbour at distance d costs one hop directly but two through an
+// intermediary, and the two-hop branch is only taken when strictly
+// better than the best direct hop, which a direct neighbour can never
+// be.
+func (r *Router) RouteGreedyNoN(src int, target keyspace.Key) Route {
+	nw := r.nw
+	topo := nw.cfg.Topology
+	keys, csr := nw.keys, nw.csr
+	if len(r.mark) < nw.cfg.N {
+		r.mark = make([]int32, nw.cfg.N)
+		r.gen = 0
+	}
+	cur := src
+	r.path = append(r.path[:0], src)
+	guard := maxHopsFor(nw.cfg.N)
+	dCur := topo.Distance(keys[cur], target)
+	for len(r.path) < guard {
+		if r.gen == math.MaxInt32 { // epoch wrap: reset the stamp table
+			clear(r.mark)
+			r.gen = 0
+		}
+		r.gen++
+		gen := r.gen
+		r.mark[cur] = gen
+
+		// Best direct neighbour (with the plateau tie-break); every
+		// first-hop candidate is stamped so the lookahead skips it.
+		best1, bestD1 := -1, dCur
+		bestKey1 := keys[cur]
+		out := csr.Out(cur)
+		for _, v := range out {
+			r.mark[v] = gen
+			vKey := keys[v]
+			d := topo.Distance(vKey, target)
+			if better(topo, bestKey1, vKey, target, d, bestD1) {
+				best1, bestD1, bestKey1 = int(v), d, vKey
+			}
+		}
+		// Best two-hop destination and its intermediary (strict
+		// improvement only; the plateau case is handled by best1). Each
+		// distinct unseen target is evaluated exactly once.
+		best2, via, bestD2 := -1, -1, dCur
+		for _, v := range out {
+			for _, w := range csr.Out(int(v)) {
+				if r.mark[w] == gen {
+					continue
+				}
+				r.mark[w] = gen
+				if d := topo.Distance(keys[w], target); d < bestD2 {
+					best2, via, bestD2 = int(w), int(v), d
+				}
+			}
+		}
+		switch {
+		case best2 != -1 && bestD2 < bestD1:
+			r.path = append(r.path, via, best2)
+			cur, dCur = best2, bestD2
+		case best1 != -1:
+			r.path = append(r.path, best1)
+			cur, dCur = best1, bestD1
+		default:
+			return Route{Path: r.path, Arrived: nw.isNearest(cur, target)}
+		}
+	}
+	return Route{Path: r.path, Truncated: true}
+}

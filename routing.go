@@ -1,0 +1,81 @@
+package smallworld
+
+import (
+	"smallworld/keyspace"
+)
+
+// Route records one greedy routing attempt.
+type Route struct {
+	// Path lists the visited node indices, starting at the source. Routes
+	// obtained from a Router alias the router's scratch buffer; routes
+	// from the Network-level convenience methods own their path.
+	Path []int
+	// Arrived reports whether the route terminated at a node whose
+	// distance to the target equals the minimum over the whole network
+	// (when two peers straddle the target at exactly equal distance,
+	// either is a correct destination).
+	Arrived bool
+	// Truncated reports that the hop guard fired (should never happen
+	// with intact neighbouring edges).
+	Truncated bool
+}
+
+// Hops returns the number of overlay hops taken.
+func (r Route) Hops() int { return len(r.Path) - 1 }
+
+// maxHopsFor bounds route length defensively. Greedy routing never
+// revisits a node (its lexicographic potential strictly decreases), so n
+// hops is the true worst case; NoN routing records intermediate hops, so
+// allow twice that.
+func maxHopsFor(n int) int { return 2 * n }
+
+// better reports whether moving to candidate v improves on the current
+// position (curKey, dCur) for the given target: strictly smaller distance,
+// or — on an exact float64 distance tie — strictly between the current
+// key and the target in arc order. The tie-break matters in extremely
+// skewed key spaces, where whole clusters of peers collapse to one
+// rounded distance value and plain greedy would stall; key-order
+// comparisons stay exact there. Each tie-move strictly advances along
+// the arc, so routing still terminates.
+func better(topo keyspace.Topology, curKey, vKey, target keyspace.Key, dv, dCur float64) bool {
+	if dv < dCur {
+		return true
+	}
+	return dv == dCur && topo.Advances(curKey, vKey, target)
+}
+
+// RouteGreedy is the allocating convenience form of Router.RouteGreedy:
+// it borrows a pooled router and returns a route whose path the caller
+// owns. Hot loops that route millions of queries should hold a Router
+// per goroutine instead (zero steady-state allocations).
+func (nw *Network) RouteGreedy(src int, target keyspace.Key) Route {
+	r := nw.router()
+	rt := r.RouteGreedy(src, target)
+	rt.Path = append([]int(nil), rt.Path...)
+	nw.routers.Put(r)
+	return rt
+}
+
+// RouteGreedyNoN is the allocating convenience form of
+// Router.RouteGreedyNoN; see RouteGreedy for the ownership contract.
+func (nw *Network) RouteGreedyNoN(src int, target keyspace.Key) Route {
+	r := nw.router()
+	rt := r.RouteGreedyNoN(src, target)
+	rt.Path = append([]int(nil), rt.Path...)
+	nw.routers.Put(r)
+	return rt
+}
+
+// RouteToNode is a convenience wrapper routing to another node's
+// identifier.
+func (nw *Network) RouteToNode(src, dst int) Route {
+	return nw.RouteGreedy(src, nw.keys[dst])
+}
+
+// isNearest reports whether node u is at the minimal distance to target
+// over the whole network.
+func (nw *Network) isNearest(u int, target keyspace.Key) bool {
+	c := nw.ClosestNode(target)
+	topo := nw.cfg.Topology
+	return topo.Distance(nw.keys[u], target) <= topo.Distance(nw.keys[c], target)
+}

@@ -1,0 +1,486 @@
+package smallworld
+
+import (
+	"math"
+	"sort"
+
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// sampler draws a node's long-range targets.
+type sampler interface {
+	// sampleLinks returns up to m distinct long-range targets for node u,
+	// excluding u itself and u's neighbouring-edge targets. sc holds
+	// per-worker scratch buffers; it may be nil for one-off calls.
+	sampleLinks(nw *Network, u, m int, rng *xrand.Stream, sc *samplerScratch) []int32
+}
+
+// maxAttemptsPerLink bounds re-draws when a sampled target duplicates an
+// existing link or fails the envelope-rejection step; beyond it the link
+// is recorded as shortfall.
+const maxAttemptsPerLink = 64
+
+// ---------------------------------------------------------------------------
+// Exact sampler: dyadic measure bands + Walker alias table + rejection.
+//
+// The model distribution is P[v] ∝ measure(u,v)^-r over every eligible
+// peer (measure >= MinMeasure). The naive implementation materialises a
+// per-node cumulative weight table — O(N) per node, O(N²) per build
+// (naiveExactSampler below, kept for equivalence tests and benchmarks).
+//
+// The fast sampler exploits that nodes are sorted by their measure-space
+// position (nw.mpos), so the peers whose measure from u falls in the
+// dyadic band [lo·2^k, lo·2^(k+1)) form at most one contiguous index run
+// per side of u, found by binary search. Within a band the weight varies
+// by at most 2^r, so the band total is tightly upper-bounded by
+// count·(lo·2^k)^-r. Sampling then goes:
+//
+//	band  ~ Walker alias table over the ≤ 2·log2(maxM/lo) band bounds,
+//	peer  ~ uniform within the band's index run,
+//	accept with probability weight(peer) / bandBound   (≥ 2^-r),
+//
+// which yields *exactly* P[v] ∝ weight(v) — the envelope slack is folded
+// into the rejection — at O(log²N) per node instead of O(N):
+// O(N log N)-ish per build overall. Determinism: everything derives from
+// the position array and the per-node RNG stream, so builds stay
+// bit-reproducible per (cfg, seed) and independent of Workers.
+// ---------------------------------------------------------------------------
+
+// band is one contiguous run of candidate indices at comparable measure.
+type band struct {
+	start int32   // first index (circular: may wrap past n)
+	count int32   // number of nodes in the run
+	blo   float64 // lower measure bound of the dyadic band
+	bound float64 // per-peer weight upper bound blo^-r
+}
+
+// samplerScratch holds per-worker reusable buffers so steady-state
+// sampling does not allocate.
+type samplerScratch struct {
+	bands []band
+	// Walker alias table over bands.
+	prob  []float64
+	alias []int16
+	small []int16
+	large []int16
+}
+
+type exactSampler struct{}
+
+func (exactSampler) sampleLinks(nw *Network, u, m int, rng *xrand.Stream, sc *samplerScratch) []int32 {
+	if m == 0 {
+		return nil
+	}
+	if sc == nil {
+		sc = &samplerScratch{}
+	}
+	total := nw.appendBands(u, sc)
+	if total <= 0 || len(sc.bands) == 0 {
+		return nil
+	}
+	buildAlias(sc, total)
+
+	n := nw.cfg.N
+	r := nw.cfg.Exponent
+	lo := nw.cfg.MinMeasure
+	links := make([]int32, 0, m)
+	for len(links) < m {
+		placed := false
+		for attempt := 0; attempt < maxAttemptsPerLink; attempt++ {
+			// Alias draw: one uniform yields both the column and the coin.
+			f := rng.Float64() * float64(len(sc.bands))
+			k := int(f)
+			if k >= len(sc.bands) { // f == len exactly (measure zero)
+				k = len(sc.bands) - 1
+			}
+			if f-float64(k) >= sc.prob[k] {
+				k = int(sc.alias[k])
+			}
+			b := &sc.bands[k]
+			j := int(rng.Float64() * float64(b.count))
+			if j >= int(b.count) {
+				j = int(b.count) - 1
+			}
+			v := int(b.start) + j
+			if v >= n {
+				v -= n
+			}
+			// Exact acceptance: weight(v)/bound. Recomputing the measure
+			// here (rather than trusting the position search) also
+			// guarantees the MinMeasure eligibility invariant at the
+			// floating-point boundaries of a band.
+			meas := nw.measureBetween(u, v)
+			if meas < lo {
+				continue
+			}
+			var accept float64
+			if r == 1 {
+				accept = b.blo / meas
+			} else {
+				accept = math.Pow(b.blo/meas, r)
+			}
+			if rng.Float64() >= accept {
+				continue
+			}
+			if acceptLink(nw, u, v, links) {
+				links = append(links, int32(v))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return links
+}
+
+// appendBands fills sc.bands with node u's dyadic candidate runs and
+// returns the total envelope weight Σ count·bound.
+func (nw *Network) appendBands(u int, sc *samplerScratch) float64 {
+	sc.bands = sc.bands[:0]
+	pos := nw.mpos
+	n := len(pos)
+	x := pos[u]
+	lo := nw.cfg.MinMeasure
+	r := nw.cfg.Exponent
+	ring := nw.cfg.Topology == keyspace.Ring
+	maxM := nw.cfg.Topology.MaxDistance()
+
+	var total float64
+	push := func(start, count int, blo float64) {
+		if count <= 0 {
+			return
+		}
+		var bound float64
+		if r == 1 {
+			bound = 1 / blo
+		} else {
+			bound = math.Pow(blo, -r)
+		}
+		if start >= n {
+			start -= n
+		}
+		sc.bands = append(sc.bands, band{start: int32(start), count: int32(count), blo: blo, bound: bound})
+		total += float64(count) * bound
+	}
+
+	for blo := lo; blo < maxM; blo *= 2 {
+		bhi := blo * 2
+		last := bhi >= maxM
+		if ring {
+			// Clockwise arc: measure offsets in [blo, min(bhi, 0.5)); the
+			// clipped last band is closed above so the exact antipode
+			// (measure 0.5) stays reachable. Counter-clockwise arc:
+			// offsets in [blo, min(bhi, 0.5)) with the antipode excluded
+			// (the clockwise band already covers it).
+			if last {
+				s, c := circRange(pos, x+blo, true, x+maxM, true)
+				push(s, c, blo)
+				s, c = circRange(pos, x-maxM, false, x-blo, true)
+				push(s, c, blo)
+			} else {
+				s, c := circRange(pos, x+blo, true, x+bhi, false)
+				push(s, c, blo)
+				s, c = circRange(pos, x-bhi, false, x-blo, true)
+				push(s, c, blo)
+			}
+		} else {
+			// Line right side: positions in [x+blo, x+bhi), open-ended on
+			// the last band.
+			i1 := sort.SearchFloat64s(pos, x+blo)
+			i2 := n
+			if !last {
+				i2 = sort.SearchFloat64s(pos, x+bhi)
+			}
+			push(i1, i2-i1, blo)
+			// Line left side: positions in (x-bhi, x-blo], open-ended on
+			// the last band.
+			j2 := searchGT(pos, x-blo)
+			j1 := 0
+			if !last {
+				j1 = searchGT(pos, x-bhi)
+			}
+			push(j1, j2-j1, blo)
+		}
+	}
+	return total
+}
+
+// searchGT returns the index of the first element > t.
+func searchGT(pos []float64, t float64) int {
+	return sort.Search(len(pos), func(i int) bool { return pos[i] > t })
+}
+
+// circRange returns the circular index run of positions between a and b
+// on the unit ring; each bound is closed when its *Inclusive flag is set
+// ([a,b), (a,b], [a,b] or (a,b)). a and b are raw offsets that may lie
+// outside [0,1); they are wrapped. The run is returned as (start, count)
+// with start in [0, n) and indices continuing modulo n.
+func circRange(pos []float64, a float64, aInclusive bool, b float64, bInclusive bool) (int, int) {
+	n := len(pos)
+	an := wrapUnit(a)
+	bn := wrapUnit(b)
+	var i1, i2 int
+	if aInclusive {
+		i1 = sort.SearchFloat64s(pos, an)
+	} else {
+		i1 = searchGT(pos, an)
+	}
+	if bInclusive {
+		i2 = searchGT(pos, bn)
+	} else {
+		i2 = sort.SearchFloat64s(pos, bn)
+	}
+	if an <= bn {
+		return i1 % max(n, 1), i2 - i1
+	}
+	return i1 % max(n, 1), (n - i1) + i2
+}
+
+// wrapUnit maps a raw offset onto [0,1).
+func wrapUnit(x float64) float64 {
+	f := x - math.Floor(x)
+	if f >= 1 {
+		f = 0
+	}
+	return f
+}
+
+// buildAlias constructs the Walker/Vose alias table over sc.bands with
+// band k weighted by count·bound. After it, a band is drawn in O(1):
+// pick column c uniformly, keep c with probability prob[c], else take
+// alias[c].
+func buildAlias(sc *samplerScratch, total float64) {
+	k := len(sc.bands)
+	if cap(sc.prob) < k {
+		sc.prob = make([]float64, k)
+		sc.alias = make([]int16, k)
+		sc.small = make([]int16, 0, k)
+		sc.large = make([]int16, 0, k)
+	}
+	sc.prob = sc.prob[:k]
+	sc.alias = sc.alias[:k]
+	sc.small = sc.small[:0]
+	sc.large = sc.large[:0]
+	for i, b := range sc.bands {
+		sc.prob[i] = float64(b.count) * b.bound * float64(k) / total
+		sc.alias[i] = int16(i)
+		if sc.prob[i] < 1 {
+			sc.small = append(sc.small, int16(i))
+		} else {
+			sc.large = append(sc.large, int16(i))
+		}
+	}
+	for len(sc.small) > 0 && len(sc.large) > 0 {
+		s := sc.small[len(sc.small)-1]
+		sc.small = sc.small[:len(sc.small)-1]
+		l := sc.large[len(sc.large)-1]
+		sc.alias[s] = l
+		sc.prob[l] -= 1 - sc.prob[s]
+		if sc.prob[l] < 1 {
+			sc.large = sc.large[:len(sc.large)-1]
+			sc.small = append(sc.small, l)
+		}
+	}
+	// Numerical leftovers saturate to probability 1 (standard Vose fix).
+	for _, i := range sc.small {
+		sc.prob[i] = 1
+	}
+	for _, i := range sc.large {
+		sc.prob[i] = 1
+	}
+}
+
+// naiveExactSampler is the reference O(N)-per-node implementation: a full
+// cumulative weight table over every peer, inverted by binary search. It
+// draws from the identical distribution as exactSampler and is retained
+// for the statistical-equivalence tests and the before/after benchmark
+// (BenchmarkExactSampler* in sampler_bench_test.go).
+type naiveExactSampler struct{}
+
+func (naiveExactSampler) sampleLinks(nw *Network, u, m int, rng *xrand.Stream, _ *samplerScratch) []int32 {
+	if m == 0 {
+		return nil
+	}
+	n := nw.cfg.N
+	r := nw.cfg.Exponent
+	cum := make([]float64, n+1)
+	for v := 0; v < n; v++ {
+		w := 0.0
+		if v != u {
+			if meas := nw.measureBetween(u, v); meas >= nw.cfg.MinMeasure {
+				if r == 1 {
+					w = 1 / meas
+				} else {
+					w = math.Pow(meas, -r)
+				}
+			}
+		}
+		cum[v+1] = cum[v] + w
+	}
+	total := cum[n]
+	if total <= 0 {
+		return nil
+	}
+	links := make([]int32, 0, m)
+	for len(links) < m {
+		placed := false
+		for attempt := 0; attempt < maxAttemptsPerLink; attempt++ {
+			target := rng.Float64() * total
+			// First index with cum[i] > target is the end of the chosen
+			// node's weight span; the node is that index minus one.
+			v := sort.SearchFloat64s(cum, target)
+			if v > 0 && cum[v] > target {
+				v--
+			}
+			// Skip zero-weight spans the search may land on.
+			for v < n && cum[v+1] == cum[v] {
+				v++
+			}
+			if v >= n {
+				continue
+			}
+			if acceptLink(nw, u, v, links) {
+				links = append(links, int32(v))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return links
+}
+
+// protocolSampler mirrors the Section 4.2 join protocol: draw an offset in
+// measure space with density ∝ m^-r over the eligible range, map it back
+// to a key (through the quantile function for the Mass measure), and link
+// to the peer closest to that key — exactly what "query for the drawn
+// value and add the responder" achieves in a deployed overlay.
+type protocolSampler struct{}
+
+func (protocolSampler) sampleLinks(nw *Network, u, m int, rng *xrand.Stream, _ *samplerScratch) []int32 {
+	if m == 0 {
+		return nil
+	}
+	r := nw.cfg.Exponent
+	lo := nw.cfg.MinMeasure
+	pos := nw.measurePos(u)
+	links := make([]int32, 0, m)
+	for len(links) < m {
+		placed := false
+		for attempt := 0; attempt < maxAttemptsPerLink; attempt++ {
+			target, ok := sampleMeasureTarget(nw, pos, r, lo, rng)
+			if !ok {
+				return links
+			}
+			v := nw.resolveKey(target, u)
+			if v >= 0 && acceptLink(nw, u, v, links) {
+				links = append(links, int32(v))
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return links
+}
+
+// sampleMeasureTarget draws a target position in measure space at offset
+// m ∝ m^-r from pos, honouring the line/ring geometry. ok is false when
+// no eligible offset exists on either side.
+func sampleMeasureTarget(nw *Network, pos, r, lo float64, rng *xrand.Stream) (float64, bool) {
+	if nw.cfg.Topology == keyspace.Ring {
+		const hi = 0.5
+		if hi <= lo {
+			return 0, false
+		}
+		off := powerOffset(rng, r, lo, hi)
+		if rng.Bool(0.5) {
+			off = -off
+		}
+		return float64(keyspace.Wrap(pos + off)), true
+	}
+	// Line: the available measure to the right is 1-pos, to the left pos.
+	wRight := sideWeight(r, lo, 1-pos)
+	wLeft := sideWeight(r, lo, pos)
+	if wRight+wLeft <= 0 {
+		return 0, false
+	}
+	if rng.Float64()*(wRight+wLeft) < wRight {
+		return pos + powerOffset(rng, r, lo, 1-pos), true
+	}
+	return pos - powerOffset(rng, r, lo, pos), true
+}
+
+// measurePos returns node u's coordinate in measure space: its image in
+// R' for the Mass measure, its raw identifier for the Geometric measure.
+func (nw *Network) measurePos(u int) float64 {
+	return nw.mpos[u]
+}
+
+// resolveKey maps a measure-space position back to the closest node,
+// excluding u. It returns -1 when resolution fails.
+func (nw *Network) resolveKey(target float64, u int) int {
+	var key keyspace.Key
+	if nw.cfg.Measure == Mass {
+		key = keyspace.Clamp(nw.cfg.Dist.Quantile(clamp01(target)))
+	} else {
+		key = keyspace.Clamp(target)
+	}
+	return nw.keys.NearestExcluding(nw.cfg.Topology, key, u)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// acceptLink reports whether v is a valid new long-range target for u:
+// not u itself, not a neighbouring-edge target, not already chosen.
+func acceptLink(nw *Network, u, v int, chosen []int32) bool {
+	if v == u || nw.isNeighborIndex(u, v) {
+		return false
+	}
+	for _, w := range chosen {
+		if int(w) == v {
+			return false
+		}
+	}
+	return true
+}
+
+// sideWeight is the normalisation mass of the density m^-r on [lo, hi]:
+// ln(hi/lo) for r = 1, (hi^(1-r) - lo^(1-r))/(1-r) otherwise; zero when
+// the interval is empty.
+func sideWeight(r, lo, hi float64) float64 {
+	if hi <= lo || lo <= 0 {
+		return 0
+	}
+	if r == 1 {
+		return math.Log(hi / lo)
+	}
+	return (math.Pow(hi, 1-r) - math.Pow(lo, 1-r)) / (1 - r)
+}
+
+// powerOffset draws m in [lo, hi] with density ∝ m^-r by inverse
+// transform (LogUniform for the harmonic case r = 1).
+func powerOffset(rng *xrand.Stream, r, lo, hi float64) float64 {
+	if r == 1 {
+		return rng.LogUniform(lo, hi)
+	}
+	u := rng.Float64()
+	a := math.Pow(lo, 1-r)
+	b := math.Pow(hi, 1-r)
+	return math.Pow(a+u*(b-a), 1/(1-r))
+}

@@ -1,0 +1,70 @@
+package smallworld
+
+import (
+	"context"
+
+	"strconv"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// Sampler micro-benchmarks: one full pass of link sampling over every
+// node, fast (bands+alias) vs naive (cumulative table). The acceptance
+// bar for the flattening PR is fast ≥ 5× naive at N=4096; see
+// PERFORMANCE.md for recorded numbers.
+
+func benchSamplerPass(b *testing.B, smp sampler, n int) {
+	b.Helper()
+	cfg := SkewedConfig(n, dist.NewPower(0.8), 1)
+	cfg.Topology = keyspace.Ring
+	nw, err := Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deg := nw.Config().Degree(n)
+	sc := &samplerScratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := xrand.New(uint64(i) + 2)
+		for u := 0; u < n; u++ {
+			smp.sampleLinks(nw, u, deg, rng, sc)
+		}
+	}
+}
+
+func BenchmarkExactSamplerAlias(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) { benchSamplerPass(b, exactSampler{}, n) })
+	}
+}
+
+func BenchmarkExactSamplerNaive(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) { benchSamplerPass(b, naiveExactSampler{}, n) })
+	}
+}
+
+// Build-level comparison: the naive-sampler twin of the top-level
+// BenchmarkBuildExactSampler.
+func BenchmarkBuildExactSamplerNaive(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			cfg := SkewedConfig(n, dist.NewPower(0.8), 1)
+			cfg.Topology = keyspace.Ring
+			cfg, err := cfg.withDefaults()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := build(context.Background(), cfg, naiveExactSampler{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

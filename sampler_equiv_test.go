@@ -1,0 +1,189 @@
+package smallworld
+
+import (
+	"context"
+
+	"math"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// The fast exact sampler (dyadic bands + alias table + rejection) must
+// draw from the identical distribution as the naive cumulative-table
+// sampler it replaced. These tests pin that equivalence statistically and
+// pin determinism exactly.
+
+// linkPartitionHistogram samples `rounds` full link sets for every node
+// with smp and aggregates the doubling-partition histogram of the chosen
+// link masses (the paper's own summary of a link-length distribution).
+func linkPartitionHistogram(nw *Network, smp sampler, seed uint64, rounds int) []float64 {
+	counts := make([]float64, nw.Partitions())
+	total := 0.0
+	deg := nw.Config().Degree(nw.N())
+	sc := &samplerScratch{}
+	rng := xrand.New(seed)
+	for round := 0; round < rounds; round++ {
+		for u := 0; u < nw.N(); u++ {
+			for _, v := range smp.sampleLinks(nw, u, deg, rng, sc) {
+				if j := nw.PartitionOf(nw.NormalizedMass(u, int(v))); j >= 1 {
+					counts[j-1]++
+					total++
+				}
+			}
+		}
+	}
+	for i := range counts {
+		counts[i] /= total
+	}
+	return counts
+}
+
+func TestExactSamplerMatchesNaiveDistribution(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"mass-ring", Config{N: 384, Dist: dist.NewPower(0.8), Measure: Mass, Topology: keyspace.Ring, Seed: 51}},
+		{"mass-line", Config{N: 384, Dist: dist.NewTruncExp(6), Measure: Mass, Topology: keyspace.Line, Seed: 52}},
+		{"geometric-ring", Config{N: 384, Dist: dist.Uniform{}, Measure: Geometric, Topology: keyspace.Ring, Seed: 53}},
+		{"kleinberg-r2", func() Config {
+			c := KleinbergConfig(384, 6, 2, 54)
+			c.Topology = keyspace.Ring
+			return c
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nw := mustBuild(t, tc.cfg)
+			const rounds = 12
+			fast := linkPartitionHistogram(nw, exactSampler{}, 61, rounds)
+			naive := linkPartitionHistogram(nw, naiveExactSampler{}, 62, rounds)
+			// Total-variation distance between the two empirical link-mass
+			// distributions (≈28k draws each side at these sizes).
+			var tv float64
+			for i := range fast {
+				tv += math.Abs(fast[i] - naive[i])
+			}
+			tv /= 2
+			if tv > 0.02 {
+				t.Errorf("link-length distributions diverge: TV distance %.4f\nfast:  %v\nnaive: %v",
+					tv, fast, naive)
+			}
+		})
+	}
+}
+
+func TestExactFastVsNaiveRoutingCost(t *testing.T) {
+	// End-to-end form of the equivalence: overlays built by the two
+	// samplers route random queries at the same cost.
+	cfg := SkewedConfig(1024, dist.NewPower(0.8), 55)
+	cfg.Topology = keyspace.Ring
+	fastNW := mustBuild(t, cfg)
+	cfgD, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveNW, err := build(context.Background(), cfgD, naiveExactSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := routeSample(fastNW, xrand.New(56), 1500).Mean()
+	hn := routeSample(naiveNW, xrand.New(56), 1500).Mean()
+	if ratio := hf / hn; ratio > 1.1 || ratio < 0.9 {
+		t.Errorf("fast-sampler overlay routes at %.2f hops vs naive %.2f (ratio %.2f)", hf, hn, ratio)
+	}
+}
+
+func TestExactSamplerDeterministicAcrossWorkers(t *testing.T) {
+	// Same (cfg, seed) must produce bit-identical link sets regardless of
+	// construction parallelism — the property that keeps every experiment
+	// table reproducible from its recorded seed.
+	cfg := SkewedConfig(1024, dist.NewTruncExp(6), 57)
+	cfg.Topology = keyspace.Ring
+	cfg.Sampler = Exact
+	var ref *Network
+	for _, workers := range []int{1, 4, 13} {
+		cfg.Workers = workers
+		nw := mustBuild(t, cfg)
+		if ref == nil {
+			ref = nw
+			continue
+		}
+		for u := 0; u < nw.N(); u++ {
+			a, b := ref.LongRange(u), nw.LongRange(u)
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d: node %d has %d links vs %d", workers, u, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d: node %d link %d = %d vs %d", workers, u, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExactSamplerEligibilityLine(t *testing.T) {
+	// The band construction must respect MinMeasure on the line geometry
+	// too (the ring case is covered by TestExactSamplerEligibility).
+	cfg := Config{
+		N: 256, Dist: dist.NewPower(0.6), Measure: Mass,
+		Sampler: Exact, Seed: 58, Topology: keyspace.Line,
+	}
+	nw := mustBuild(t, cfg)
+	minM := nw.Config().MinMeasure
+	placed := 0
+	for u := 0; u < nw.N(); u++ {
+		for _, v := range nw.LongRange(u) {
+			placed++
+			if meas := nw.measureBetween(u, int(v)); meas < minM {
+				t.Fatalf("link %d->%d has measure %v < %v", u, v, meas, minM)
+			}
+		}
+	}
+	if placed == 0 {
+		t.Fatal("no long-range links placed")
+	}
+}
+
+func TestExactSamplerCoversWholeRange(t *testing.T) {
+	// Every eligible peer must be reachable by the band decomposition:
+	// aggregate all candidate runs of a node and compare against a direct
+	// eligibility scan.
+	for _, topo := range []keyspace.Topology{keyspace.Ring, keyspace.Line} {
+		cfg := Config{
+			N: 200, Dist: dist.NewPower(0.7), Measure: Mass,
+			Sampler: Exact, Seed: 59, Topology: topo,
+		}
+		nw := mustBuild(t, cfg)
+		lo := nw.Config().MinMeasure
+		sc := &samplerScratch{}
+		for u := 0; u < nw.N(); u += 7 {
+			nw.appendBands(u, sc)
+			inBand := make([]bool, nw.N())
+			for _, b := range sc.bands {
+				for j := 0; j < int(b.count); j++ {
+					v := int(b.start) + j
+					if v >= nw.N() {
+						v -= nw.N()
+					}
+					if inBand[v] {
+						t.Fatalf("%v: node %d appears in two bands of node %d", topo, v, u)
+					}
+					inBand[v] = true
+				}
+			}
+			for v := 0; v < nw.N(); v++ {
+				if v == u {
+					continue
+				}
+				eligible := nw.measureBetween(u, v) >= lo
+				if eligible && !inBand[v] {
+					t.Errorf("%v: eligible peer %d of %d missing from bands", topo, v, u)
+				}
+			}
+		}
+	}
+}
