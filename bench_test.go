@@ -49,6 +49,7 @@ func BenchmarkE15KleinbergExponent(b *testing.B) {
 func BenchmarkE16WattsStrogatz(b *testing.B)    { benchExperiment(b, exp.E16WattsStrogatz) }
 func BenchmarkE17KleinbergLattice(b *testing.B) { benchExperiment(b, exp.E17KleinbergLattice) }
 func BenchmarkE18NodeFailures(b *testing.B)     { benchExperiment(b, exp.E18NodeFailures) }
+func BenchmarkE19ChurnDynamics(b *testing.B)    { benchExperiment(b, exp.E19ChurnDynamics) }
 
 // Micro-benchmarks: costs of the core operations underlying every table.
 

@@ -12,6 +12,18 @@
 //	      [-keyspace ring|line] [-sampler protocol|exact] \
 //	      [-degree 0=default] [-exponent 0=1] [-queries 2000] [-seed 1] \
 //	      [-fail 0.5] [-verbose]
+//
+// Scenario mode switches from a static snapshot to the discrete-event
+// dynamics engine (package sim): the overlay is driven through churn
+// while a query load routes concurrently, and windowed health series
+// are printed (and optionally exported):
+//
+//	swsim -scenario list
+//	swsim -scenario steady [-topology protocol] [-n 512] [-duration 100] \
+//	      [-window 10] [-sim-seed 1] [-sim-json report.json] [-sim-csv report.csv]
+//
+// Topologies that do not implement Dynamic are wrapped with
+// overlaynet.NewRebuild, so every registered overlay is drivable.
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"smallworld/keyspace"
 	"smallworld/metrics"
 	"smallworld/overlaynet"
+	"smallworld/sim"
 )
 
 func main() {
@@ -41,6 +54,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	fail := flag.Float64("fail", 0, "fraction of long links to fail before routing")
 	verbose := flag.Bool("verbose", false, "print per-partition link histogram (small-world family)")
+	scenario := flag.String("scenario", "", "run a churn scenario instead of a static snapshot ('list' prints presets)")
+	duration := flag.Float64("duration", 0, "scenario duration in virtual time (0 = preset default)")
+	window := flag.Float64("window", 0, "scenario metrics window (0 = preset default)")
+	simJSON := flag.String("sim-json", "", "write the scenario report as JSON to this file")
+	simCSV := flag.String("sim-csv", "", "write the scenario series as CSV to this file")
 	flag.Parse()
 
 	if *list {
@@ -78,6 +96,65 @@ func main() {
 	}
 
 	ctx := context.Background()
+
+	if *scenario != "" {
+		if *scenario == "list" {
+			for _, name := range sim.PresetNames() {
+				fmt.Println(name)
+			}
+			return
+		}
+		sc, err := sim.Preset(*scenario, *n)
+		if err != nil {
+			die(err)
+		}
+		if *duration > 0 {
+			sc.Duration = *duration
+		}
+		if *window > 0 {
+			sc.Window = *window
+		}
+		sc.Seed = *seed
+		sc.Load.Target = sim.DataTargets(d)
+
+		var dyn overlaynet.Dynamic
+		if built, err := overlaynet.Build(ctx, *topology, opts); err != nil {
+			die(err)
+		} else if live, ok := built.(overlaynet.Dynamic); ok {
+			dyn = live
+		} else {
+			fmt.Printf("(%s is static; wrapping with overlaynet.NewRebuild)\n", *topology)
+			if dyn, err = overlaynet.NewRebuild(ctx, *topology, opts); err != nil {
+				die(err)
+			}
+		}
+
+		report, err := sim.Run(ctx, dyn, sc)
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(report)
+		writeReport := func(path string, write func(*os.File) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				die(err)
+			}
+			if err := write(f); err != nil {
+				die(err)
+			}
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		writeReport(*simJSON, func(f *os.File) error { return report.WriteJSON(f) })
+		writeReport(*simCSV, func(f *os.File) error { return report.WriteCSV(f) })
+		return
+	}
+
 	ov, err := overlaynet.Build(ctx, *topology, opts)
 	if err != nil {
 		die(err)

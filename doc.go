@@ -46,7 +46,12 @@
 //     topology registry covering every overlay in the repository (both
 //     models, Kleinberg, Watts–Strogatz, Chord, Pastry, P-Grid,
 //     Symphony, Mercury, CAN, and the live Section 4.2 protocol), and
-//     the batched context-aware QueryRunner.
+//     the batched context-aware QueryRunner;
+//   - sim — the deterministic discrete-event dynamics engine: arrival
+//     processes (Poisson churn, flash crowds, diurnal waves, mass
+//     failures, session lifetimes) drive any Dynamic overlay while a
+//     query load routes concurrently, recording windowed time-series
+//     health metrics with JSON/CSV export.
 //
 // The comparison baselines themselves (internal/dht/*, internal/
 // wattsstrogatz, internal/overlay) and the experiment harness
@@ -77,6 +82,23 @@
 // 10x`; they report allocs/op), the internal/ → public migration table,
 // and how to record an experiment baseline with `go run ./cmd/swbench
 // -json BENCH_PR2.json`.
+//
+// # Dynamics
+//
+// Static snapshots are only half the paper's claim; the sim package
+// evaluates trajectories. A one-line scenario drives the Section 4.2
+// protocol overlay through sustained churn while lookups route
+// concurrently in virtual time:
+//
+//	ov, _ := overlaynet.Build(ctx, "protocol",
+//		overlaynet.Options{N: 256, Seed: 1, Dist: dist.NewPower(0.7)})
+//	sc, _ := sim.Preset("steady", 256) // 10%/window Poisson churn
+//	report, _ := sim.Run(ctx, ov.(overlaynet.Dynamic), sc)
+//
+// The same engine replays bit-identically per (overlay, Scenario);
+// experiment E19 uses it to show O(log N) routing surviving ≥10%
+// per-window churn. Static topologies become drivable through
+// overlaynet.NewRebuild.
 //
 // See README.md for a tour. The benchmarks in bench_test.go regenerate
 // every experiment table (run with -v to see them).

@@ -13,8 +13,8 @@ import (
 
 	"smallworld/dist"
 	"smallworld/internal/overlay"
-	"smallworld/internal/workload"
 	"smallworld/metrics"
+	"smallworld/sim"
 	"smallworld/xrand"
 )
 
@@ -45,21 +45,23 @@ func main() {
 		report(fmt.Sprintf("after refinement round %d:", round))
 	}
 
-	// Sustained churn: 600 events, 2/3 joins.
+	// Sustained churn: 600 ops, 2/3 joins, drawn from the sim package's
+	// churn vocabulary (see examples/churnlab for the full event-driven
+	// engine with virtual time and windowed metrics).
 	rng := xrand.New(5)
-	trace := workload.ChurnTrace(600, 2.0/3.0, rng)
+	trace := sim.BernoulliTrace(600, 2.0/3.0, rng)
 	joins, leaves := 0, 0
 	var joinCost metrics.Summary
-	for _, ev := range trace {
-		switch ev.Kind {
-		case workload.Join:
+	for _, op := range trace {
+		switch op {
+		case sim.OpJoin:
 			_, stats, err := nw.Join()
 			if err != nil {
 				log.Fatal(err)
 			}
 			joinCost.Add(float64(stats.Total()))
 			joins++
-		case workload.Leave:
+		case sim.OpLeave:
 			peers := nw.Peers()
 			nw.Leave(peers[rng.Intn(len(peers))], true)
 			leaves++

@@ -1,0 +1,69 @@
+package smallworld
+
+import (
+	"testing"
+
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// The fault-path benchmarks: routing across a network with a live
+// FailSet (20% of nodes crashed, stale links still in place). Both
+// policies report allocs/op — backtracking allocates its visited set
+// and frame stack per route, the price of guaranteed delivery, while
+// greedy-avoiding should stay within its path slice.
+
+// benchFailSetup builds a 4096-node ring overlay, a 20% FailSet, and a
+// deterministic batch of live sources with targets.
+func benchFailSetup(b *testing.B) (*Network, *FailSet, []int, []keyspace.Key) {
+	b.Helper()
+	cfg := UniformConfig(4096, 96)
+	cfg.Topology = keyspace.Ring
+	nw, err := Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := NewFailSet(nw, xrand.New(97), 0.2)
+	r := xrand.New(98)
+	const batch = 1024
+	srcs := make([]int, 0, batch)
+	targets := make([]keyspace.Key, 0, batch)
+	for len(srcs) < batch {
+		src := r.Intn(nw.N())
+		if fs.Dead(src) {
+			continue
+		}
+		srcs = append(srcs, src)
+		targets = append(targets, keyspace.Key(r.Float64()))
+	}
+	return nw, fs, srcs, targets
+}
+
+func BenchmarkRouteGreedyAvoiding(b *testing.B) {
+	nw, fs, srcs, targets := benchFailSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(srcs)
+		nw.RouteGreedyAvoiding(srcs[j], targets[j], fs)
+	}
+}
+
+func BenchmarkRouteBacktracking(b *testing.B) {
+	nw, fs, srcs, targets := benchFailSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(srcs)
+		nw.RouteBacktracking(srcs[j], targets[j], fs)
+	}
+}
+
+func BenchmarkClosestLive(b *testing.B) {
+	nw, fs, _, targets := benchFailSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.ClosestLive(targets[i%len(targets)], fs)
+	}
+}

@@ -153,6 +153,83 @@ func TestBacktrackingNoFailuresMatchesGreedy(t *testing.T) {
 	}
 }
 
+func TestClosestLiveAllDead(t *testing.T) {
+	cfg := UniformConfig(32, 89)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(90), 0)
+	for u := 0; u < nw.N(); u++ {
+		fs.dead[u] = true
+	}
+	fs.n = nw.N()
+	if got := nw.ClosestLive(0.5, fs); got != -1 {
+		t.Errorf("ClosestLive with everyone dead = %d, want -1", got)
+	}
+}
+
+func TestReviveIdempotent(t *testing.T) {
+	cfg := UniformConfig(32, 91)
+	nw := mustBuild(t, cfg)
+	fs := NewFailSet(nw, xrand.New(92), 0)
+	// Reviving a node that never died must not corrupt the dead count.
+	fs.Revive(3)
+	if fs.CountDead() != 0 {
+		t.Fatalf("revive of a live node changed CountDead to %d", fs.CountDead())
+	}
+	fs.dead[3] = true
+	fs.n++
+	fs.Revive(3)
+	fs.Revive(3) // double revive
+	if fs.CountDead() != 0 || fs.Dead(3) {
+		t.Errorf("double revive left CountDead=%d Dead(3)=%v", fs.CountDead(), fs.Dead(3))
+	}
+}
+
+// TestBacktrackingLineVsRing pins the fault path on both key-space
+// geometries: on a Line the ring cannot wrap around a dead stretch, so
+// backtracking leans harder on the long links, but on both topologies
+// it must avoid dead nodes and deliver whenever plain greedy does.
+func TestBacktrackingLineVsRing(t *testing.T) {
+	for _, topo := range []keyspace.Topology{keyspace.Line, keyspace.Ring} {
+		cfg := UniformConfig(256, 93)
+		cfg.Topology = topo
+		nw := mustBuild(t, cfg)
+		fs := NewFailSet(nw, xrand.New(94), 0.25)
+		r := xrand.New(95)
+		attempts, greedyOK, backOK := 0, 0, 0
+		for i := 0; i < 200; i++ {
+			src := r.Intn(nw.N())
+			target := keyspace.Key(r.Float64())
+			if fs.Dead(src) {
+				continue
+			}
+			attempts++
+			if nw.RouteGreedyAvoiding(src, target, fs).Arrived {
+				greedyOK++
+			}
+			rt := nw.RouteBacktracking(src, target, fs)
+			if rt.Arrived {
+				backOK++
+			}
+			for _, u := range rt.Path {
+				if u != src && fs.Dead(u) {
+					t.Fatalf("%v: backtracking entered dead node %d", topo, u)
+				}
+			}
+		}
+		if attempts == 0 {
+			t.Fatalf("%v: no live sources sampled", topo)
+		}
+		if backOK < greedyOK {
+			t.Errorf("%v: backtracking delivered %d/%d, below greedy %d/%d",
+				topo, backOK, attempts, greedyOK, attempts)
+		}
+		if frac := float64(backOK) / float64(attempts); frac < 0.95 {
+			t.Errorf("%v: backtracking arrival rate %.3f, want ~1", topo, frac)
+		}
+	}
+}
+
 func TestRouteBacktrackingAllDead(t *testing.T) {
 	cfg := UniformConfig(64, 87)
 	nw := mustBuild(t, cfg)

@@ -357,10 +357,40 @@ func TestE18BacktrackingWins(t *testing.T) {
 	}
 }
 
+func TestE19SustainsLogHopsUnderChurn(t *testing.T) {
+	tab := E19ChurnDynamics(Quick, 19)
+	if len(tab.Rows) < 6 {
+		t.Fatalf("E19 rows: %d\n%s", len(tab.Rows), tab.String())
+	}
+	var sawHighChurn bool
+	for i, row := range tab.Rows {
+		churn := cell(t, tab, i, 1)
+		ratio := cell(t, tab, i, 6) // hops/log2N
+		if ratio > 2.62 {           // Theorem 1's 1/c bound
+			t.Errorf("%s at %0.f%% churn: hops/log2N = %.2f above 1/c", row[0], churn, ratio)
+		}
+		if fail := cell(t, tab, i, 4); fail > 5 {
+			t.Errorf("%s at %.0f%% churn: %.1f%% failures", row[0], churn, fail)
+		}
+		if strings.HasPrefix(row[0], "protocol") && churn >= 10 {
+			sawHighChurn = true
+		}
+	}
+	if !sawHighChurn {
+		t.Error("E19 must include a protocol row at >= 10%/window churn")
+	}
+	// Churn must actually run concurrently with the query load: the 20%
+	// row exists and still routes.
+	last := tab.Rows[3]
+	if last[1] != "20.00" {
+		t.Errorf("expected a 20%% churn row, got %v", last)
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	rs := Runners()
-	if len(rs) != 18 {
-		t.Fatalf("expected 18 runners, got %d", len(rs))
+	if len(rs) != 19 {
+		t.Fatalf("expected 19 runners, got %d", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"smallworld"
@@ -55,6 +56,12 @@ func failedHops(queries, n int) []float64 {
 
 // log2 is a float shorthand.
 func log2(n int) float64 { return math.Log2(float64(n)) }
+
+// log2f is log2 over a float population (mean sizes from churn runs).
+func log2f(n float64) float64 { return math.Log2(n) }
+
+// fmtF renders a float cell without decimals.
+func fmtF(v float64) string { return fmt.Sprintf("%.0f", v) }
 
 // sizesFor returns the network-size sweep for a scale.
 func sizesFor(scale Scale) []int {

@@ -31,6 +31,7 @@ func Runners() []Runner {
 		{"E16", "Watts–Strogatz structure vs routability", E16WattsStrogatz},
 		{"E17", "Kleinberg 2-D lattice", E17KleinbergLattice},
 		{"E18", "node failures and backtracking", E18NodeFailures},
+		{"E19", "routing under churn (sim)", E19ChurnDynamics},
 	}
 }
 

@@ -78,7 +78,8 @@ type Network struct {
 	master   *xrand.Stream
 	masterMu sync.Mutex
 
-	msgs atomic.Int64 // total overlay hops consumed by all operations
+	msgs  atomic.Int64 // total overlay hops consumed by all operations
+	maint atomic.Int64 // the membership/maintenance share of msgs
 }
 
 // New creates an empty network.
@@ -105,6 +106,12 @@ func New(cfg Config) *Network {
 
 // Messages returns the total number of overlay hops consumed so far.
 func (nw *Network) Messages() int64 { return nw.msgs.Load() }
+
+// MaintMessages returns the overlay hops consumed by membership and
+// maintenance traffic — join routing, long-range link draws, leave
+// repairs and refinement walks — as opposed to plain lookups. The churn
+// simulator reports this as repair cost per membership event.
+func (nw *Network) MaintMessages() int64 { return nw.maint.Load() }
 
 // Size returns the current number of peers.
 func (nw *Network) Size() int {
@@ -228,6 +235,7 @@ func (nw *Network) drawLongLinksLocked(p *Peer) int {
 		}
 	}
 	nw.msgs.Add(int64(msgs))
+	nw.maint.Add(int64(msgs))
 	return msgs
 }
 
@@ -349,6 +357,7 @@ func (nw *Network) Join() (*Peer, JoinStats, error) {
 	closest, hops := nw.lookupLocked(bootstrap, id)
 	stats.LocateHops = hops
 	nw.msgs.Add(int64(hops))
+	nw.maint.Add(int64(hops))
 
 	// Splice p between closest and the neighbour on p's side. Clockwise
 	// arc arithmetic rather than shorter-arc distance: adjacent gaps can
@@ -441,6 +450,7 @@ func (nw *Network) RandomWalk(p *Peer, l int) *Peer {
 		cur = ls[p.rng.Intn(len(ls))]
 	}
 	nw.msgs.Add(int64(l))
+	nw.maint.Add(int64(l))
 	return cur
 }
 
@@ -480,6 +490,7 @@ func (nw *Network) Refine(walks, walkLen int) {
 				ids = append(ids, cur.ID)
 			}
 			nw.msgs.Add(int64(walks * walkLen))
+			nw.maint.Add(int64(walks * walkLen))
 			results[i] = sampled{p: p, ids: ids}
 		}(i, p)
 	}

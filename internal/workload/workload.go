@@ -1,7 +1,8 @@
-// Package workload generates the query and churn traces that drive the
-// experiments: query targets drawn uniformly, from the data distribution
-// (hot keys are queried more), or from a hotspot; and churn schedules of
-// interleaved joins and departures.
+// Package workload generates the query targets that drive the static
+// experiments: drawn uniformly, from the data distribution (hot keys
+// are queried more), or from a hotspot. Churn schedules live in the
+// top-level sim package (sim.BernoulliTrace and the Arrival processes),
+// the repo-wide churn vocabulary.
 package workload
 
 import (
@@ -59,37 +60,4 @@ func Targets(kind TargetKind, f dist.Distribution, r *xrand.Stream, n int) []key
 		}
 	}
 	return out
-}
-
-// EventKind is a churn event type.
-type EventKind int
-
-const (
-	// Join adds a peer.
-	Join EventKind = iota
-	// Leave removes a random peer.
-	Leave
-)
-
-// Event is one churn step.
-type Event struct {
-	Kind EventKind
-}
-
-// ChurnTrace generates a length-n event sequence where each event is a
-// join with probability joinFrac (otherwise a leave). joinFrac > 0.5
-// grows the network, < 0.5 shrinks it.
-func ChurnTrace(n int, joinFrac float64, r *xrand.Stream) []Event {
-	if joinFrac < 0 || joinFrac > 1 {
-		panic(fmt.Sprintf("workload: joinFrac %v outside [0,1]", joinFrac))
-	}
-	events := make([]Event, n)
-	for i := range events {
-		if r.Bool(joinFrac) {
-			events[i] = Event{Kind: Join}
-		} else {
-			events[i] = Event{Kind: Leave}
-		}
-	}
-	return events
 }

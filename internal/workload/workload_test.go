@@ -76,26 +76,3 @@ func TestTargetsPanicsOnUnknownKind(t *testing.T) {
 	}()
 	Targets(TargetKind(42), dist.Uniform{}, xrand.New(4), 1)
 }
-
-func TestChurnTrace(t *testing.T) {
-	r := xrand.New(5)
-	events := ChurnTrace(10000, 0.7, r)
-	joins := 0
-	for _, e := range events {
-		if e.Kind == Join {
-			joins++
-		}
-	}
-	if joins < 6700 || joins > 7300 {
-		t.Errorf("joins = %d of 10000, want ~7000", joins)
-	}
-}
-
-func TestChurnTracePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid joinFrac should panic")
-		}
-	}()
-	ChurnTrace(10, 1.5, xrand.New(6))
-}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a time series: the value V observed at virtual
+// time T (in the sim package, T is the closing edge of a metrics
+// window).
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is a named time series — the windowed output format of the
+// dynamics simulator. Points are appended in non-decreasing time order.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Add appends the sample (t, v).
+func (s *Series) Add(t, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.Points) }
+
+// Values returns the sample values in time order.
+func (s Series) Values() []float64 {
+	vs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// Last returns the most recent sample, or false for an empty series.
+func (s Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// SeriesCSV writes the given series as wide-format CSV: a leading "t"
+// column holding the union of all sample times, then one column per
+// series. A series with no sample at some time leaves that cell empty,
+// so series of different lengths align on their shared clock.
+func SeriesCSV(w io.Writer, series ...Series) error {
+	times := make([]float64, 0, 64)
+	seen := make(map[float64]bool)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.T] {
+				seen[p.T] = true
+				times = append(times, p.T)
+			}
+		}
+	}
+	sort.Float64s(times)
+
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "t")
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+
+	// Per-series cursor: points are time-ordered, so one pass suffices.
+	cursor := make([]int, len(series))
+	row := make([]string, len(series)+1)
+	for _, t := range times {
+		row[0] = fmt.Sprintf("%g", t)
+		for i, s := range series {
+			row[i+1] = ""
+			if c := cursor[i]; c < len(s.Points) && s.Points[c].T == t {
+				row[i+1] = fmt.Sprintf("%g", s.Points[c].V)
+				cursor[i]++
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

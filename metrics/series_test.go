@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Name = "hops"
+	if _, ok := s.Last(); ok {
+		t.Error("empty series should have no last point")
+	}
+	s.Add(1, 2.5)
+	s.Add(2, 3.5)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Values(); !reflect.DeepEqual(got, []float64{2.5, 3.5}) {
+		t.Errorf("Values = %v", got)
+	}
+	last, ok := s.Last()
+	if !ok || last != (Point{T: 2, V: 3.5}) {
+		t.Errorf("Last = %v, %v", last, ok)
+	}
+}
+
+func TestSeriesCSVAligned(t *testing.T) {
+	a := Series{Name: "a", Points: []Point{{1, 10}, {2, 20}}}
+	b := Series{Name: "b", Points: []Point{{1, 0.5}, {2, 0.25}}}
+	var buf strings.Builder
+	if err := SeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,a,b\n1,10,0.5\n2,20,0.25\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSeriesCSVRagged(t *testing.T) {
+	// Series of different lengths align on the union of times with
+	// empty cells where a series has no sample.
+	a := Series{Name: "a", Points: []Point{{1, 10}, {3, 30}}}
+	b := Series{Name: "b", Points: []Point{{2, 2}}}
+	var buf strings.Builder
+	if err := SeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,a,b\n1,10,\n2,,2\n3,30,\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -97,6 +97,25 @@ func (o *protoOverlay) Leave(ctx context.Context, u int) error {
 	return nil
 }
 
+// Messages implements Messenger: total protocol traffic and its
+// membership/maintenance share, both in overlay hops.
+func (o *protoOverlay) Messages() (total, maintenance int64) {
+	return o.nw.Messages(), o.nw.MaintMessages()
+}
+
+// Maintain implements Maintainer with one iterative-refinement round:
+// every peer samples the network by random walks, re-estimates the
+// identifier density and network size, and re-draws its long-range
+// links from the improved h_u. Membership is unchanged, so node indices
+// stay valid, but neighbour sets change.
+func (o *protoOverlay) Maintain(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o.nw.Refine(16, 4)
+	return nil
+}
+
 type protoRouter struct {
 	o *protoOverlay
 }

@@ -1,0 +1,97 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/sim"
+)
+
+// stubDynamic is a minimal Dynamic overlay — a static ring whose
+// Join/Leave only move a population counter — so the engine benchmarks
+// measure the event loop itself, not any overlay protocol.
+type stubDynamic struct {
+	keys []keyspace.Key
+	n    int
+}
+
+func newStub(n int) *stubDynamic {
+	s := &stubDynamic{keys: make([]keyspace.Key, 4*n), n: n}
+	for i := range s.keys {
+		s.keys[i] = keyspace.Key(float64(i) / float64(len(s.keys)))
+	}
+	return s
+}
+
+func (s *stubDynamic) Kind() string            { return "stub" }
+func (s *stubDynamic) N() int                  { return s.n }
+func (s *stubDynamic) Key(u int) keyspace.Key  { return s.keys[u] }
+func (s *stubDynamic) Keys() []keyspace.Key    { return s.keys[:s.n] }
+func (s *stubDynamic) Neighbors(u int) []int32 { return nil }
+func (s *stubDynamic) Stats() overlaynet.Stats { return overlaynet.Stats{Nodes: s.n} }
+
+func (s *stubDynamic) Join(ctx context.Context) error {
+	if s.n < len(s.keys) {
+		s.n++
+	}
+	return nil
+}
+
+func (s *stubDynamic) Leave(ctx context.Context, u int) error {
+	if s.n > 2 {
+		s.n--
+	}
+	return nil
+}
+
+type stubRouter struct{ s *stubDynamic }
+
+func (s *stubDynamic) NewRouter() overlaynet.Router { return stubRouter{s} }
+
+func (r stubRouter) Route(src int, target keyspace.Key) overlaynet.Result {
+	return overlaynet.Result{Hops: 3, Dest: src, Arrived: true}
+}
+
+// BenchmarkEventLoop measures the engine's own cost per event — heap
+// scheduling, dispatch, recording — against a free overlay. One run is
+// ~2600 events (2000 queries + 600 membership ops + windows).
+func BenchmarkEventLoop(b *testing.B) {
+	sc := sim.Scenario{
+		Name:     "bench",
+		Duration: 100,
+		Window:   10,
+		Seed:     1,
+		Arrivals: []sim.Arrival{sim.PoissonChurn{JoinRate: 3, LeaveRate: 3}},
+		Load:     sim.Load{Rate: 20},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(context.Background(), newStub(256), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyScenarioProtocol runs the steady preset end to end on
+// a live Section 4.2 protocol overlay — the realistic cost of one full
+// churn simulation.
+func BenchmarkSteadyScenarioProtocol(b *testing.B) {
+	sc, err := sim.Preset("steady", 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Seed = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ov := buildProtocol(b, 64, uint64(i))
+		b.StartTimer()
+		if _, err := sim.Run(context.Background(), ov, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

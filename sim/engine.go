@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"context"
+
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/xrand"
+)
+
+// eventKind discriminates the engine's internal event types.
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota // an arrival process fires
+	evQuery                    // the load generator routes one lookup
+	evWindow                   // a metrics window closes
+	evSession                  // a scheduled session departure
+)
+
+// event is one entry of the virtual-time queue. Events are small values
+// so the queue is a flat slice with no per-event allocation.
+type event struct {
+	at   float64
+	seq  uint64 // tie-break: equal times fire in scheduling order
+	kind eventKind
+	proc int          // arrival index, for evArrival
+	key  keyspace.Key // departing identifier, for evSession
+}
+
+// eventQueue is a binary min-heap on (at, seq). The manual
+// implementation (rather than container/heap) keeps the hot loop free
+// of interface conversions and allocations.
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	*q = h
+	return top
+}
+
+// Engine is the running simulation state. Arrival implementations
+// receive it in Fire and mutate membership through its exported
+// methods; everything else is internal to Run.
+type Engine struct {
+	sc  Scenario
+	ov  overlaynet.Dynamic
+	ctx context.Context
+
+	now   float64
+	seq   uint64
+	queue eventQueue
+
+	rng     *xrand.Stream   // engine-internal draws (departure victims)
+	loadRNG *xrand.Stream   // query sources and targets
+	arrRNG  []*xrand.Stream // one independent stream per arrival process
+
+	// Routers are invalidated by every membership change (the Dynamic
+	// contract); epoch counts changes and the cached router is rebuilt
+	// lazily on the next query after the epochs diverge.
+	router      overlaynet.Router
+	routerEpoch uint64
+	epoch       uint64
+
+	msgr overlaynet.Messenger  // nil when the overlay does not meter traffic
+	mnt  overlaynet.Maintainer // nil when the overlay has no maintenance round
+
+	sinceMaint int // membership events since the last maintenance round
+
+	rec *recorder
+	err error
+}
+
+// newEngine splits the scenario seed into the engine, load and
+// per-arrival streams — in that fixed order, so the stream assignment
+// is part of the replay format.
+func newEngine(ctx context.Context, ov overlaynet.Dynamic, sc Scenario) *Engine {
+	master := xrand.New(sc.Seed)
+	e := &Engine{
+		sc:      sc,
+		ov:      ov,
+		ctx:     ctx,
+		rng:     master.Split(),
+		loadRNG: master.Split(),
+		rec:     newRecorder(sc, ov),
+	}
+	e.arrRNG = make([]*xrand.Stream, len(sc.Arrivals))
+	for i := range sc.Arrivals {
+		e.arrRNG[i] = master.Split()
+	}
+	e.msgr, _ = ov.(overlaynet.Messenger)
+	e.mnt, _ = ov.(overlaynet.Maintainer)
+	if e.msgr != nil {
+		total, maint := e.msgr.Messages()
+		e.rec.baseMsgs(total, maint)
+	}
+	return e
+}
+
+// bootstrap seeds the queue: every arrival's first firing, the first
+// query, and the first window edge.
+func (e *Engine) bootstrap() {
+	for i, a := range e.sc.Arrivals {
+		if at := a.Start(e.arrRNG[i]); at >= 0 {
+			e.push(event{at: at, kind: evArrival, proc: i})
+		}
+	}
+	if e.sc.Load.Rate > 0 {
+		e.push(event{at: e.loadRNG.ExpFloat64() / e.sc.Load.Rate, kind: evQuery})
+	}
+	e.push(event{at: e.sc.Window, kind: evWindow})
+}
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.queue.push(ev)
+}
+
+func (e *Engine) dispatch(ev event) {
+	switch ev.kind {
+	case evArrival:
+		a := e.sc.Arrivals[ev.proc]
+		if next := a.Fire(e, e.arrRNG[ev.proc]); next >= 0 && e.err == nil {
+			e.push(event{at: next, kind: evArrival, proc: ev.proc})
+		}
+	case evQuery:
+		e.runQuery()
+		if e.sc.Load.Rate > 0 {
+			e.push(event{at: e.now + e.loadRNG.ExpFloat64()/e.sc.Load.Rate, kind: evQuery})
+		}
+	case evWindow:
+		e.rec.closeWindow(e, e.now)
+		if next := e.now + e.sc.Window; next <= e.sc.Duration {
+			e.push(event{at: next, kind: evWindow})
+		}
+	case evSession:
+		switch {
+		case e.err != nil:
+		case e.ov.N() <= e.sc.MinNodes:
+			e.rec.rejected()
+		case !e.LeaveKey(ev.key):
+			// The identifier is gone — the node already departed through
+			// other churn, or the overlay (rebuild wrapper) resampled its
+			// keys. Recorded so under-counted departures are visible.
+			e.rec.sessionMiss()
+		}
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// N returns the overlay's current population.
+func (e *Engine) N() int { return e.ov.N() }
+
+// Join adds one peer by the overlay's join protocol. It reports false
+// when the join was rejected (population cap) or failed.
+func (e *Engine) Join() bool {
+	_, ok := e.JoinSession()
+	return ok
+}
+
+// JoinSession is Join plus the identifier of the node the join created,
+// for arrivals that schedule the same node's departure later. The
+// identifier is read from the highest node index, which is where every
+// append-ordered Dynamic overlay (the Section 4.2 protocol) places the
+// newcomer; for rebuild overlays it is an arbitrary representative of
+// the enlarged population, which approximates session semantics.
+func (e *Engine) JoinSession() (keyspace.Key, bool) {
+	if e.err != nil {
+		return 0, false
+	}
+	if e.sc.MaxNodes > 0 && e.ov.N() >= e.sc.MaxNodes {
+		e.rec.rejected()
+		return 0, false
+	}
+	if err := e.ov.Join(e.ctx); err != nil {
+		e.fail(err)
+		return 0, false
+	}
+	e.membershipChanged()
+	e.rec.join(e.now)
+	return e.ov.Key(e.ov.N() - 1), true
+}
+
+// LeaveRandom removes one uniformly random node. It reports false when
+// the departure was rejected (population floor) or failed.
+func (e *Engine) LeaveRandom() bool {
+	if e.err != nil {
+		return false
+	}
+	n := e.ov.N()
+	if n <= e.sc.MinNodes {
+		e.rec.rejected()
+		return false
+	}
+	return e.leave(e.rng.Intn(n))
+}
+
+// LeaveKey removes the node currently holding identifier k. It reports
+// false when no node holds k any more (the session already ended
+// through other churn) or the population floor rejects the departure.
+func (e *Engine) LeaveKey(k keyspace.Key) bool {
+	if e.err != nil {
+		return false
+	}
+	if e.ov.N() <= e.sc.MinNodes {
+		e.rec.rejected()
+		return false
+	}
+	for u, key := range e.ov.Keys() {
+		if key == k {
+			return e.leave(u)
+		}
+	}
+	return false
+}
+
+func (e *Engine) leave(u int) bool {
+	if err := e.ov.Leave(e.ctx, u); err != nil {
+		e.fail(err)
+		return false
+	}
+	e.membershipChanged()
+	e.rec.leave(e.now)
+	return true
+}
+
+// ScheduleSessionEnd enqueues the departure of the node holding k after
+// the given virtual-time delay.
+func (e *Engine) ScheduleSessionEnd(k keyspace.Key, after float64) {
+	if after < 0 {
+		after = 0
+	}
+	e.push(event{at: e.now + after, kind: evSession, key: k})
+}
+
+// Maintain runs one maintenance round when the overlay supports it
+// (overlaynet.Maintainer) and resets the staleness clock. It reports
+// whether a round actually ran.
+func (e *Engine) Maintain() bool {
+	if e.mnt == nil || e.err != nil {
+		return false
+	}
+	if err := e.mnt.Maintain(e.ctx); err != nil {
+		e.fail(err)
+		return false
+	}
+	e.sinceMaint = 0
+	e.epoch++ // neighbour sets changed; routers must be rebuilt
+	e.rec.maintain(e.now)
+	return true
+}
+
+// membershipChanged invalidates cached routers and advances the
+// staleness clock.
+func (e *Engine) membershipChanged() {
+	e.epoch++
+	e.sinceMaint++
+}
+
+// fail records the first hard error; context cancellation wins so Run
+// reports it verbatim.
+func (e *Engine) fail(err error) {
+	if ctxErr := e.ctx.Err(); ctxErr != nil {
+		err = ctxErr
+	}
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// runQuery routes one lookup from a uniformly random live source to a
+// target drawn by the load generator.
+func (e *Engine) runQuery() {
+	n := e.ov.N()
+	if n < 2 {
+		return
+	}
+	if e.router == nil || e.routerEpoch != e.epoch {
+		e.router = e.ov.NewRouter()
+		e.routerEpoch = e.epoch
+	}
+	src := e.loadRNG.Intn(n)
+	target := e.sc.Load.target(e.loadRNG)
+	res := e.router.Route(src, target)
+	e.rec.query(e.now, res, e.sc.TimeoutHops)
+}

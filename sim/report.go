@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"smallworld/metrics"
+	"smallworld/overlaynet"
+)
+
+// Canonical series names, in report order.
+const (
+	SeriesHopsMean  = "hops_mean"
+	SeriesHopsP50   = "hops_p50"
+	SeriesHopsP95   = "hops_p95"
+	SeriesHopsP99   = "hops_p99"
+	SeriesFailRate  = "fail_rate"
+	SeriesTimeouts  = "timeout_rate"
+	SeriesQueries   = "queries"
+	SeriesJoins     = "joins"
+	SeriesLeaves    = "leaves"
+	SeriesLiveNodes = "live_nodes"
+	SeriesStaleness = "staleness"
+	SeriesMaintMsgs = "maint_msgs"
+	SeriesTotalMsgs = "total_msgs"
+	SeriesMsgsPerOp = "maint_msgs_per_op"
+)
+
+// Totals aggregates a whole run.
+type Totals struct {
+	Queries  int `json:"queries"`
+	Arrived  int `json:"arrived"`
+	Failures int `json:"failures"`
+	Timeouts int `json:"timeouts"`
+	Joins    int `json:"joins"`
+	Leaves   int `json:"leaves"`
+	// Maintenance counts explicit maintenance rounds.
+	Maintenance int `json:"maintenance"`
+	// Rejected counts membership ops refused by the MinNodes/MaxNodes
+	// population guards.
+	Rejected int `json:"rejected"`
+	// SessionMisses counts scheduled session departures whose
+	// identifier no longer existed at firing time — the node already
+	// left through other churn, or the overlay does not preserve
+	// identifiers across membership changes (overlaynet.NewRebuild
+	// resamples all keys per event, so rebuild-wrapped overlays
+	// under-count session leaves by design).
+	SessionMisses int `json:"session_misses"`
+	// StartNodes and FinalNodes bracket the population trajectory.
+	StartNodes int `json:"start_nodes"`
+	FinalNodes int `json:"final_nodes"`
+	// TotalMessages and MaintMessages are overlay hops consumed during
+	// the run (zero when the overlay does not implement Messenger).
+	TotalMessages int64 `json:"total_messages"`
+	MaintMessages int64 `json:"maint_messages"`
+
+	hopSum float64
+}
+
+// MeanHops returns the mean hop count over every arrived query.
+func (t Totals) MeanHops() float64 {
+	if t.Arrived == 0 {
+		return 0
+	}
+	return t.hopSum / float64(t.Arrived)
+}
+
+// FailRate returns the fraction of queries that did not arrive.
+func (t Totals) FailRate() float64 {
+	if t.Queries == 0 {
+		return 0
+	}
+	return float64(t.Failures) / float64(t.Queries)
+}
+
+// TraceEvent is one replayed event, captured when Scenario.RecordTrace
+// is set: the virtual time, the op name, and an op-dependent value
+// (population after a join/leave, hop count of an arrived query, -1 for
+// a failed one).
+type TraceEvent struct {
+	T  float64 `json:"t"`
+	Op string  `json:"op"`
+	V  float64 `json:"v"`
+}
+
+// Report is the recorded outcome of one Run: run-level totals, one
+// windowed time series per health metric, and (optionally) the full
+// event trace.
+type Report struct {
+	Scenario string           `json:"scenario"`
+	Overlay  string           `json:"overlay"`
+	Seed     uint64           `json:"seed"`
+	Duration float64          `json:"duration"`
+	Window   float64          `json:"window"`
+	Totals   Totals           `json:"totals"`
+	Series   []metrics.Series `json:"series"`
+	Trace    []TraceEvent     `json:"trace,omitempty"`
+
+	// Hops holds every arrived query's hop count in execution order,
+	// for whole-run quantiles. Excluded from JSON (the windowed series
+	// carry the exported shape).
+	Hops []float64 `json:"-"`
+}
+
+// Get returns the named series, or nil.
+func (r *Report) Get(name string) *metrics.Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// HopQuantile returns the p-quantile of all arrived queries' hops.
+func (r *Report) HopQuantile(p float64) float64 {
+	return metrics.Percentile(r.Hops, p)
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}
+
+// WriteCSV writes every series as wide-format CSV sharing one time
+// column.
+func (r *Report) WriteCSV(w io.Writer) error {
+	return metrics.SeriesCSV(w, r.Series...)
+}
+
+// String renders the windowed health table plus a totals line.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s on %s (seed %d, duration %g, window %g)\n",
+		r.Scenario, r.Overlay, r.Seed, r.Duration, r.Window)
+	cols := []string{"t", "nodes", "joins", "leaves", "queries", "hops", "p95", "fail%", "stale", "maintMsgs"}
+	names := []string{SeriesLiveNodes, SeriesJoins, SeriesLeaves, SeriesQueries,
+		SeriesHopsMean, SeriesHopsP95, SeriesFailRate, SeriesStaleness, SeriesMaintMsgs}
+	fmt.Fprintf(&b, "%8s", cols[0])
+	for _, c := range cols[1:] {
+		fmt.Fprintf(&b, "  %9s", c)
+	}
+	b.WriteByte('\n')
+	live := r.Get(SeriesLiveNodes)
+	if live != nil {
+		for i, p := range live.Points {
+			fmt.Fprintf(&b, "%8.5g", p.T)
+			for _, name := range names {
+				s := r.Get(name)
+				v := 0.0
+				if s != nil && i < len(s.Points) {
+					v = s.Points[i].V
+				}
+				switch name {
+				case SeriesFailRate:
+					fmt.Fprintf(&b, "  %9.1f", 100*v)
+				case SeriesHopsMean, SeriesHopsP95:
+					fmt.Fprintf(&b, "  %9.2f", v)
+				default:
+					fmt.Fprintf(&b, "  %9.0f", v)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "totals: %d queries (%.1f%% arrived, mean %.2f hops), %d joins, %d leaves, %d→%d nodes",
+		r.Totals.Queries, 100*(1-r.Totals.FailRate()), r.Totals.MeanHops(),
+		r.Totals.Joins, r.Totals.Leaves, r.Totals.StartNodes, r.Totals.FinalNodes)
+	if r.Totals.MaintMessages > 0 {
+		fmt.Fprintf(&b, ", %d maint msgs", r.Totals.MaintMessages)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// recorder accumulates one metrics window at a time and closes it into
+// the series set.
+type recorder struct {
+	sc      Scenario
+	overlay string
+
+	winHops                []float64
+	winQueries, winFails   int
+	winTimeouts            int
+	winJoins, winLeaves    int
+	lastTotal, lastMaint   int64
+	startTotal, startMaint int64
+	metered                bool
+
+	series [14]metrics.Series
+	tot    Totals
+	all    []float64
+	trace  []TraceEvent
+}
+
+func newRecorder(sc Scenario, ov overlaynet.Dynamic) *recorder {
+	rec := &recorder{sc: sc, overlay: ov.Kind()}
+	rec.tot.StartNodes = ov.N()
+	for i, name := range []string{
+		SeriesHopsMean, SeriesHopsP50, SeriesHopsP95, SeriesHopsP99,
+		SeriesFailRate, SeriesTimeouts, SeriesQueries, SeriesJoins,
+		SeriesLeaves, SeriesLiveNodes, SeriesStaleness, SeriesMaintMsgs,
+		SeriesTotalMsgs, SeriesMsgsPerOp,
+	} {
+		rec.series[i].Name = name
+	}
+	return rec
+}
+
+// baseMsgs records the overlay's cumulative message counters at run
+// start, so construction traffic does not pollute the run's deltas.
+func (rec *recorder) baseMsgs(total, maint int64) {
+	rec.metered = true
+	rec.startTotal, rec.startMaint = total, maint
+	rec.lastTotal, rec.lastMaint = total, maint
+}
+
+func (rec *recorder) event(t float64, op string, v float64) {
+	if rec.sc.RecordTrace {
+		rec.trace = append(rec.trace, TraceEvent{T: t, Op: op, V: v})
+	}
+}
+
+func (rec *recorder) join(t float64) {
+	rec.winJoins++
+	rec.tot.Joins++
+	rec.event(t, "join", float64(rec.tot.Joins))
+}
+
+func (rec *recorder) leave(t float64) {
+	rec.winLeaves++
+	rec.tot.Leaves++
+	rec.event(t, "leave", float64(rec.tot.Leaves))
+}
+
+func (rec *recorder) maintain(t float64) {
+	rec.tot.Maintenance++
+	rec.event(t, "maintain", 0)
+}
+
+func (rec *recorder) rejected() { rec.tot.Rejected++ }
+
+func (rec *recorder) sessionMiss() { rec.tot.SessionMisses++ }
+
+func (rec *recorder) query(t float64, res overlaynet.Result, timeoutHops int) {
+	rec.winQueries++
+	rec.tot.Queries++
+	if timeoutHops > 0 && res.Hops >= timeoutHops {
+		rec.winTimeouts++
+		rec.tot.Timeouts++
+	}
+	if res.Arrived {
+		h := float64(res.Hops)
+		rec.winHops = append(rec.winHops, h)
+		rec.all = append(rec.all, h)
+		rec.tot.Arrived++
+		rec.tot.hopSum += h
+		rec.event(t, "query", h)
+	} else {
+		rec.winFails++
+		rec.tot.Failures++
+		rec.event(t, "query", -1)
+	}
+}
+
+// closeWindow summarises the current accumulators into one point per
+// series, stamped at t, and resets them.
+func (rec *recorder) closeWindow(e *Engine, t float64) {
+	mean, p50, p95, p99 := 0.0, 0.0, 0.0, 0.0
+	if len(rec.winHops) > 0 {
+		mean = metrics.Mean(rec.winHops)
+		p50 = metrics.Percentile(rec.winHops, 0.50)
+		p95 = metrics.Percentile(rec.winHops, 0.95)
+		p99 = metrics.Percentile(rec.winHops, 0.99)
+	}
+	failRate, timeoutRate := 0.0, 0.0
+	if rec.winQueries > 0 {
+		failRate = float64(rec.winFails) / float64(rec.winQueries)
+		timeoutRate = float64(rec.winTimeouts) / float64(rec.winQueries)
+	}
+	var dMaint, dTotal int64
+	if rec.metered {
+		total, maint := e.msgr.Messages()
+		dMaint = maint - rec.lastMaint
+		dTotal = total - rec.lastTotal
+		rec.lastTotal, rec.lastMaint = total, maint
+	}
+	perOp := 0.0
+	if ops := rec.winJoins + rec.winLeaves; ops > 0 {
+		perOp = float64(dMaint) / float64(ops)
+	}
+
+	for i, v := range []float64{
+		mean, p50, p95, p99, failRate, timeoutRate,
+		float64(rec.winQueries), float64(rec.winJoins), float64(rec.winLeaves),
+		float64(e.ov.N()), float64(e.sinceMaint), float64(dMaint), float64(dTotal), perOp,
+	} {
+		rec.series[i].Add(t, v)
+	}
+
+	rec.winHops = rec.winHops[:0]
+	rec.winQueries, rec.winFails, rec.winTimeouts = 0, 0, 0
+	rec.winJoins, rec.winLeaves = 0, 0
+}
+
+// report closes any trailing partial window — stamped at the engine's
+// final clock, which trails sc.Duration when the run stopped early on
+// error or cancellation — and assembles the Report.
+func (rec *recorder) report(e *Engine) *Report {
+	if rec.winQueries > 0 || rec.winJoins+rec.winLeaves > 0 {
+		rec.closeWindow(e, e.now)
+	}
+	rec.tot.FinalNodes = e.ov.N()
+	if rec.metered {
+		total, maint := e.msgr.Messages()
+		rec.tot.TotalMessages = total - rec.startTotal
+		rec.tot.MaintMessages = maint - rec.startMaint
+	}
+	return &Report{
+		Scenario: rec.sc.Name,
+		Overlay:  rec.overlay,
+		Seed:     rec.sc.Seed,
+		Duration: rec.sc.Duration,
+		Window:   rec.sc.Window,
+		Totals:   rec.tot,
+		Series:   rec.series[:],
+		Trace:    rec.trace,
+		Hops:     rec.all,
+	}
+}

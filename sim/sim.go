@@ -1,0 +1,143 @@
+// Package sim is a deterministic discrete-event dynamics engine for the
+// overlays in this repository: it drives any overlaynet.Dynamic overlay
+// through sustained membership churn while a query load generator
+// issues routed lookups concurrently (in virtual time), and records
+// windowed time-series health metrics.
+//
+// The paper's argument is about overlays that stay navigable while peer
+// populations are skewed and alive; the static experiment tables
+// evaluate snapshots, and this package evaluates trajectories. A
+// scenario composes arrival processes — Poisson join/leave churn
+// (PoissonChurn), flash-crowd bursts (FlashCrowd), diurnal sine-wave
+// activity (Diurnal), correlated mass failure with recovery
+// (MassFailure), session-lifetime departures reusing package dist
+// (Sessions), periodic maintenance rounds (Maintenance), and fixed op
+// traces (Trace) — with a Load of routed queries, and Run executes the
+// event schedule on a binary-heap queue keyed on virtual time.
+//
+// Everything is seeded through xrand: the same (overlay, Scenario)
+// pair replays bit-identically, event for event and point for point,
+// whatever the host machine or GOMAXPROCS.
+//
+//	ov, _ := overlaynet.Build(ctx, "protocol",
+//		overlaynet.Options{N: 256, Seed: 1, Dist: dist.NewPower(0.7)})
+//	sc, _ := sim.Preset("steady", 256)
+//	report, _ := sim.Run(ctx, ov.(overlaynet.Dynamic), sc)
+//	fmt.Println(report)          // windowed health table
+//	report.WriteJSON(os.Stdout)  // machine-readable series
+//
+// Overlays that additionally implement overlaynet.Messenger get repair
+// traffic metered per membership event; overlaynet.Maintainer unlocks
+// the Maintenance arrival process. Static topologies become drivable
+// through overlaynet.NewRebuild.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"smallworld/overlaynet"
+)
+
+// Scenario describes one simulation: how long to run, how membership
+// changes, what query load runs concurrently, and how metrics are
+// windowed. The zero value of every field means its documented default,
+// so Scenario{Arrivals: ..., Load: ...} is runnable.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Duration is the virtual-time horizon. Default 100.
+	Duration float64
+	// Window is the metrics window length. Each series gets one point
+	// per window, stamped at the window's closing edge. Default
+	// Duration/10.
+	Window float64
+	// Seed drives every random choice of the engine, the arrival
+	// processes and the load generator (the overlay keeps its own seed
+	// from construction).
+	Seed uint64
+	// Arrivals are the membership event sources, fired in virtual-time
+	// order. Stateful arrivals are reset by Run, so a Scenario value is
+	// reusable.
+	Arrivals []Arrival
+	// Load is the concurrent query workload.
+	Load Load
+	// MinNodes rejects departures that would shrink the overlay below
+	// this population. Default 8.
+	MinNodes int
+	// MaxNodes rejects joins that would grow the overlay above this
+	// population. 0 means unlimited.
+	MaxNodes int
+	// TimeoutHops counts a query as timed out when it consumes at least
+	// this many hops (it still counts as arrived if it arrived). 0
+	// disables the timeout series.
+	TimeoutHops int
+	// RecordTrace captures the full event sequence into Report.Trace —
+	// the replay witness used by determinism tests. Off by default
+	// because traces grow with every event.
+	RecordTrace bool
+}
+
+// withDefaults resolves zero-valued fields to their documented
+// defaults.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Duration <= 0 {
+		sc.Duration = 100
+	}
+	if sc.Window <= 0 || sc.Window > sc.Duration {
+		sc.Window = sc.Duration / 10
+	}
+	if sc.MinNodes <= 0 {
+		sc.MinNodes = 8
+	}
+	return sc
+}
+
+// Run executes the scenario against ov and returns the recorded report.
+// The context cancels the simulation between events; the report built
+// so far is returned alongside the context error. Run mutates ov (that
+// is the point); build a fresh overlay per run for independent
+// trajectories.
+func Run(ctx context.Context, ov overlaynet.Dynamic, sc Scenario) (*Report, error) {
+	if ov == nil {
+		return nil, fmt.Errorf("sim: nil overlay")
+	}
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(ctx, ov, sc)
+	e.bootstrap()
+	for len(e.queue) > 0 && e.err == nil {
+		if err := ctx.Err(); err != nil {
+			e.err = err
+			break
+		}
+		ev := e.queue.pop()
+		if ev.at > sc.Duration {
+			break
+		}
+		e.now = ev.at
+		e.dispatch(ev)
+	}
+	report := e.rec.report(e)
+	return report, e.err
+}
+
+// validate rejects scenario values the event loop cannot terminate on.
+func (sc Scenario) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"duration", sc.Duration},
+		{"window", sc.Window},
+		{"load rate", sc.Load.Rate},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: scenario %s %v must be finite", f.name, f.v)
+		}
+	}
+	return nil
+}
