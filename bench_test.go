@@ -50,6 +50,7 @@ func BenchmarkE16WattsStrogatz(b *testing.B)    { benchExperiment(b, exp.E16Watt
 func BenchmarkE17KleinbergLattice(b *testing.B) { benchExperiment(b, exp.E17KleinbergLattice) }
 func BenchmarkE18NodeFailures(b *testing.B)     { benchExperiment(b, exp.E18NodeFailures) }
 func BenchmarkE19ChurnDynamics(b *testing.B)    { benchExperiment(b, exp.E19ChurnDynamics) }
+func BenchmarkE20LargeScale(b *testing.B)       { benchExperiment(b, exp.E20LargeScale) }
 
 // Micro-benchmarks: costs of the core operations underlying every table.
 
@@ -88,6 +89,25 @@ func BenchmarkBuildExactSampler(b *testing.B) {
 				buildFor(b, n, smallworld.Exact, dist.NewPower(0.8))
 			}
 		})
+	}
+}
+
+// BenchmarkBuildMillion pins the tentpole scale: one full N = 2^20
+// uniform-key build through the direct-to-CSR two-pass assembly (the
+// acceptance bar is that a single iteration completes in CI's
+// -benchtime 1x smoke run). bytes/node reports the resident footprint
+// of the finished overlay.
+func BenchmarkBuildMillion(b *testing.B) {
+	cfg := smallworld.UniformConfig(1<<20, 1)
+	cfg.Sampler = smallworld.Protocol
+	cfg.Topology = keyspace.Ring
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw, err := smallworld.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(nw.Footprint())/float64(nw.N()), "bytes/node")
 	}
 }
 

@@ -23,7 +23,9 @@
 //	      [-window 10] [-sim-seed 1] [-sim-json report.json] [-sim-csv report.csv]
 //
 // Topologies that do not implement Dynamic are wrapped with
-// overlaynet.NewRebuild, so every registered overlay is drivable.
+// overlaynet.NewRebuild, so every registered overlay is drivable;
+// -dynamic incremental selects overlaynet.NewIncremental's O(k)
+// per-event repair for the offline small-world constructors instead.
 package main
 
 import (
@@ -55,6 +57,7 @@ func main() {
 	fail := flag.Float64("fail", 0, "fraction of long links to fail before routing")
 	verbose := flag.Bool("verbose", false, "print per-partition link histogram (small-world family)")
 	scenario := flag.String("scenario", "", "run a churn scenario instead of a static snapshot ('list' prints presets)")
+	dynamic := flag.String("dynamic", "", "churn driver for static topologies: rebuild (default) or incremental (offline small-world constructors only)")
 	duration := flag.Float64("duration", 0, "scenario duration in virtual time (0 = preset default)")
 	window := flag.Float64("window", 0, "scenario metrics window (0 = preset default)")
 	simJSON := flag.String("sim-json", "", "write the scenario report as JSON to this file")
@@ -97,6 +100,12 @@ func main() {
 
 	ctx := context.Background()
 
+	if *dynamic != "" && *dynamic != "rebuild" && *dynamic != "incremental" {
+		die(fmt.Errorf("unknown -dynamic %q (want rebuild or incremental)", *dynamic))
+	}
+	if *dynamic != "" && *scenario == "" {
+		die(fmt.Errorf("-dynamic only applies to churn scenarios; pass -scenario too"))
+	}
 	if *scenario != "" {
 		if *scenario == "list" {
 			for _, name := range sim.PresetNames() {
@@ -118,7 +127,15 @@ func main() {
 		sc.Load.Target = sim.DataTargets(d)
 
 		var dyn overlaynet.Dynamic
-		if built, err := overlaynet.Build(ctx, *topology, opts); err != nil {
+		if *dynamic == "incremental" {
+			// Incremental O(k)-per-event repair; only the offline
+			// small-world constructors support it.
+			var err error
+			if dyn, err = overlaynet.NewIncremental(ctx, *topology, opts); err != nil {
+				die(err)
+			}
+			fmt.Printf("(%s wrapped with overlaynet.NewIncremental)\n", *topology)
+		} else if built, err := overlaynet.Build(ctx, *topology, opts); err != nil {
 			die(err)
 		} else if live, ok := built.(overlaynet.Dynamic); ok {
 			dyn = live

@@ -61,21 +61,27 @@
 // # Performance core
 //
 // The experiment sweeps route millions of greedy queries over overlays
-// of 16k+ peers, so the hot path is deliberately flat:
+// up to a million peers (N = 2^20 is a routine build), so the hot path
+// is deliberately flat:
 //
-//   - graphs freeze into a CSR (compressed sparse row) snapshot after
-//     construction — two flat int32 arrays that routing, BFS and
-//     clustering iterate without pointer chasing (package graph);
+//   - construction assembles the CSR (compressed sparse row) adjacency
+//     directly in two parallel passes (graph.AssembleCSR: degree count →
+//     prefix-sum offsets → parallel fill, per-node sort in place) — the
+//     mutable builder graph is never materialised, only thawed lazily
+//     for fault injection;
 //   - the Exact link sampler draws from the literal model distribution
 //     P[v] ∝ measure(u,v)^-r through a Walker alias table over dyadic
-//     measure bands plus an exact rejection step: O(log²N) per node
-//     instead of the naive O(N) cumulative table, with bit-reproducible
-//     builds per (cfg, seed) independent of Workers;
+//     measure bands plus an exact rejection step, with the band
+//     boundaries advanced by monotone cursors across each construction
+//     chunk instead of per-node binary searches; builds stay
+//     bit-reproducible per (cfg, seed) independent of Workers;
 //   - routing runs through Router scratch buffers (Network.NewRouter)
 //     with zero steady-state heap allocations and topology-specialised
-//     inner loops; overlaynet.QueryRunner batches queries with one
-//     Router per worker and reusable result buffers, so warmed batches
-//     allocate nothing.
+//     inner loops — including the fault-path policies
+//     (Router.RouteGreedyAvoiding, Router.RouteBacktracking, whose
+//     visited set and frame stack live on the same scratch);
+//     overlaynet.QueryRunner batches queries with one Router per worker
+//     and reusable result buffers, so warmed batches allocate nothing.
 //
 // PERFORMANCE.md documents the layout, the sampler's correctness
 // argument, the micro-benchmarks (run `go test -bench . -benchtime
@@ -98,7 +104,10 @@
 // The same engine replays bit-identically per (overlay, Scenario);
 // experiment E19 uses it to show O(log N) routing surviving ≥10%
 // per-window churn. Static topologies become drivable through
-// overlaynet.NewRebuild.
+// overlaynet.NewRebuild (idealised full reconstruction per event) or
+// overlaynet.NewIncremental (O(k) local rewiring per event behind a
+// delta-overlay CSR — hundreds of times cheaper at equal routing
+// quality; experiment E20 and the churn benchmarks quantify both).
 //
 // See README.md for a tour. The benchmarks in bench_test.go regenerate
 // every experiment table (run with -v to see them).

@@ -69,16 +69,18 @@ func (nw *Network) ClosestLive(target keyspace.Key, fs *FailSet) int {
 // RouteGreedyAvoiding routes greedily while skipping crashed candidates.
 // Without backtracking the route fails whenever it reaches a live node
 // none of whose live out-neighbours improves on it — the failure mode
-// that motivates redundancy in the routing table.
-func (nw *Network) RouteGreedyAvoiding(src int, target keyspace.Key, fs *FailSet) Route {
+// that motivates redundancy in the routing table. Like every Router
+// route, the returned Path aliases the router's scratch.
+func (r *Router) RouteGreedyAvoiding(src int, target keyspace.Key, fs *FailSet) Route {
+	nw := r.nw
 	topo := nw.cfg.Topology
 	cur := src
-	path := []int{src}
+	r.path = append(r.path[:0], src)
 	guard := maxHopsFor(nw.cfg.N)
 	dCur := topo.Distance(nw.keys[cur], target)
 	for hops := 0; ; hops++ {
 		if hops >= guard {
-			return Route{Path: path, Truncated: true}
+			return Route{Path: r.path, Truncated: true}
 		}
 		best, bestD := -1, dCur
 		bestKey := nw.keys[cur]
@@ -96,9 +98,29 @@ func (nw *Network) RouteGreedyAvoiding(src int, target keyspace.Key, fs *FailSet
 			break
 		}
 		cur, dCur = best, bestD
-		path = append(path, cur)
+		r.path = append(r.path, cur)
 	}
-	return Route{Path: path, Arrived: cur == nw.ClosestLive(target, fs)}
+	return Route{Path: r.path, Arrived: cur == nw.ClosestLive(target, fs)}
+}
+
+// RouteGreedyAvoiding is the allocating convenience form of
+// Router.RouteGreedyAvoiding; see RouteGreedy for the ownership
+// contract.
+func (nw *Network) RouteGreedyAvoiding(src int, target keyspace.Key, fs *FailSet) Route {
+	r := nw.router()
+	rt := r.RouteGreedyAvoiding(src, target, fs)
+	rt.Path = append([]int(nil), rt.Path...)
+	nw.routers.Put(r)
+	return rt
+}
+
+// btFrame is one depth-first search frame of RouteBacktracking: the
+// node, and its window [start, end) of not-yet-exhausted candidates in
+// the router's flat candidate buffer (cur is the consume cursor).
+type btFrame struct {
+	node     int32
+	cur, end int32
+	start    int32
 }
 
 // RouteBacktracking routes with depth-first backtracking: candidates at
@@ -107,64 +129,88 @@ func (nw *Network) RouteGreedyAvoiding(src int, target keyspace.Key, fs *FailSet
 // query returns to where it came from (each return costs a hop, as it
 // would in a deployed system). It reaches the live closest node whenever
 // the live subgraph connects src to it.
-func (nw *Network) RouteBacktracking(src int, target keyspace.Key, fs *FailSet) Route {
+//
+// All search state lives on the router's reusable scratch: the visited
+// set is the epoch-marked table shared with the NoN lookahead, and the
+// per-frame candidate lists are windows of one flat buffer — so the
+// steady state allocates nothing. The returned Path aliases the
+// router's scratch.
+func (r *Router) RouteBacktracking(src int, target keyspace.Key, fs *FailSet) Route {
+	nw := r.nw
 	goal := nw.ClosestLive(target, fs)
+	r.path = append(r.path[:0], src)
 	if goal == -1 {
-		return Route{Path: []int{src}}
+		return Route{Path: r.path}
 	}
-	type frame struct {
-		node  int
-		cands []int32 // live candidates in greedy order, not yet tried
-	}
-	visited := map[int]bool{src: true}
-	path := []int{src}
-	stack := []frame{{node: src, cands: nw.orderedLiveCandidates(src, target, fs, visited)}}
+	gen := r.nextGen()
+	mark := r.mark
+	mark[src] = gen
+	r.btCands = r.btCands[:0]
+	r.btFrames = append(r.btFrames[:0], btFrame{node: int32(src), end: r.appendLiveCandidates(src, target, fs, gen)})
 	guard := 4 * nw.cfg.N
-	for len(stack) > 0 {
-		if len(path) >= guard {
-			return Route{Path: path, Truncated: true}
+	for len(r.btFrames) > 0 {
+		if len(r.path) >= guard {
+			return Route{Path: r.path, Truncated: true}
 		}
-		top := &stack[len(stack)-1]
-		if top.node == goal {
-			return Route{Path: path, Arrived: true}
+		top := &r.btFrames[len(r.btFrames)-1]
+		if int(top.node) == goal {
+			return Route{Path: r.path, Arrived: true}
 		}
 		// Advance to the next untried candidate.
-		var next int = -1
-		for len(top.cands) > 0 {
-			c := int(top.cands[0])
-			top.cands = top.cands[1:]
-			if !visited[c] {
+		next := -1
+		for top.cur < top.end {
+			c := int(r.btCands[top.cur])
+			top.cur++
+			if mark[c] != gen {
 				next = c
 				break
 			}
 		}
 		if next == -1 {
-			// Exhausted: backtrack (one hop back to the previous node).
-			stack = stack[:len(stack)-1]
-			if len(stack) > 0 {
-				path = append(path, stack[len(stack)-1].node)
+			// Exhausted: backtrack (one hop back to the previous node),
+			// releasing the frame's candidate window.
+			r.btCands = r.btCands[:top.start]
+			r.btFrames = r.btFrames[:len(r.btFrames)-1]
+			if len(r.btFrames) > 0 {
+				r.path = append(r.path, int(r.btFrames[len(r.btFrames)-1].node))
 			}
 			continue
 		}
-		visited[next] = true
-		path = append(path, next)
-		stack = append(stack, frame{node: next, cands: nw.orderedLiveCandidates(next, target, fs, visited)})
+		mark[next] = gen
+		r.path = append(r.path, next)
+		start := int32(len(r.btCands))
+		r.btFrames = append(r.btFrames, btFrame{
+			node: int32(next), cur: start, start: start,
+			end: r.appendLiveCandidates(next, target, fs, gen),
+		})
 	}
-	return Route{Path: path}
+	return Route{Path: r.path}
 }
 
-// orderedLiveCandidates returns u's live, unvisited out-neighbours in
-// ascending order of distance to the target (greedy preference order).
-func (nw *Network) orderedLiveCandidates(u int, target keyspace.Key, fs *FailSet, visited map[int]bool) []int32 {
+// RouteBacktracking is the allocating convenience form of
+// Router.RouteBacktracking; see RouteGreedy for the ownership contract.
+func (nw *Network) RouteBacktracking(src int, target keyspace.Key, fs *FailSet) Route {
+	r := nw.router()
+	rt := r.RouteBacktracking(src, target, fs)
+	rt.Path = append([]int(nil), rt.Path...)
+	nw.routers.Put(r)
+	return rt
+}
+
+// appendLiveCandidates appends u's live, unvisited out-neighbours to the
+// router's flat candidate buffer in ascending order of distance to the
+// target (greedy preference order) and returns the window's end index.
+func (r *Router) appendLiveCandidates(u int, target keyspace.Key, fs *FailSet, gen int32) int32 {
+	nw := r.nw
 	topo := nw.cfg.Topology
-	out := nw.csr.Out(u)
-	cands := make([]int32, 0, len(out))
-	for _, v := range out {
-		if !fs.Dead(int(v)) && !visited[int(v)] {
-			cands = append(cands, v)
+	start := len(r.btCands)
+	for _, v := range nw.csr.Out(u) {
+		if !fs.Dead(int(v)) && r.mark[v] != gen {
+			r.btCands = append(r.btCands, v)
 		}
 	}
 	// Insertion sort by target distance; candidate lists are short.
+	cands := r.btCands[start:]
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0; j-- {
 			dj := topo.Distance(nw.keys[cands[j]], target)
@@ -176,5 +222,5 @@ func (nw *Network) orderedLiveCandidates(u int, target keyspace.Key, fs *FailSet
 			}
 		}
 	}
-	return cands
+	return int32(len(r.btCands))
 }

@@ -20,6 +20,19 @@ type CSR struct {
 	targets []int32 // len M, rows sorted ascending
 }
 
+// NewCSR wraps pre-assembled offset/target arrays as a CSR. offsets must
+// have one entry per node plus a trailing total, start at zero, be
+// nondecreasing, and end at len(targets); each row must be sorted
+// ascending. Callers that maintain adjacency incrementally (the
+// overlaynet delta overlay) compact into this form. The slices are
+// adopted, not copied.
+func NewCSR(offsets, targets []int32) *CSR {
+	if len(offsets) == 0 || offsets[0] != 0 || int(offsets[len(offsets)-1]) != len(targets) {
+		panic("graph: malformed CSR offsets")
+	}
+	return &CSR{offsets: offsets, targets: targets}
+}
+
 // N returns the number of nodes.
 func (c *CSR) N() int { return len(c.offsets) - 1 }
 

@@ -186,6 +186,22 @@ func (g *Graph) Freeze() *CSR {
 	return c
 }
 
+// FromCSR thaws a CSR snapshot into a mutable Graph with identical
+// adjacency (rows are already sorted and deduplicated, so each row is a
+// single copy). It is the entry point for fault injection on networks
+// that were assembled directly in CSR form and never held a builder
+// Graph.
+func FromCSR(c *CSR) *Graph {
+	g := New(c.N())
+	g.edges = c.M()
+	for u := range g.adj {
+		if row := c.Out(u); len(row) > 0 {
+			g.adj[u] = append([]int32(nil), row...)
+		}
+	}
+	return g
+}
+
 // Reverse returns the graph with every edge direction flipped.
 func (g *Graph) Reverse() *Graph {
 	r := New(g.N())

@@ -32,6 +32,7 @@ func Runners() []Runner {
 		{"E17", "Kleinberg 2-D lattice", E17KleinbergLattice},
 		{"E18", "node failures and backtracking", E18NodeFailures},
 		{"E19", "routing under churn (sim)", E19ChurnDynamics},
+		{"E20", "million-node scale (build/memory/routing)", E20LargeScale},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"smallworld/graph"
 	"smallworld/keyspace"
@@ -19,11 +20,16 @@ type Network struct {
 	keys keyspace.Points // sorted identifiers
 	norm []float64       // norm[i] = F(keys[i]), the image of node i in R'
 	mpos []float64       // measure-space positions: norm (Mass) or keys (Geometric)
-	g    *graph.Graph    // mutable adjacency — kept for failure injection/analysis
-	csr  *graph.CSR      // frozen flat adjacency — every routing hot path reads this
-	long [][]int32       // long-range targets per node (subset of g)
+	csr  *graph.CSR      // flat adjacency, assembled directly — every hot path reads this
+	long [][]int32       // long-range targets per node (subset of csr rows)
 
 	shortfall int // long-range links that could not be placed
+
+	// The mutable builder graph is only needed for fault injection and
+	// the mutation-heavy analysis helpers; it is thawed from the CSR
+	// lazily on first Graph() call instead of being built eagerly.
+	gMu sync.Mutex
+	g   *graph.Graph
 
 	routers sync.Pool // *Router scratch for the allocating convenience API
 }
@@ -35,9 +41,9 @@ func Build(cfg Config) (*Network, error) {
 }
 
 // BuildContext is Build with cooperative cancellation: the long-range
-// sampling phase checks ctx between nodes, and a cancelled build returns
-// ctx.Err() instead of a network. A build that completes is bit-identical
-// to one from Build with the same cfg.
+// sampling phase checks ctx between node chunks, and a cancelled build
+// returns ctx.Err() instead of a network. A build that completes is
+// bit-identical to one from Build with the same cfg.
 func BuildContext(ctx context.Context, cfg Config) (*Network, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -55,6 +61,13 @@ func BuildContext(ctx context.Context, cfg Config) (*Network, error) {
 	return build(ctx, cfg, smp)
 }
 
+// sampleChunk is the unit of work handed to a construction worker: a
+// contiguous node range. Chunked (rather than per-node) distribution
+// keeps channel/atomic traffic negligible at million-node scale, and
+// contiguity is what lets the exact sampler advance its band cursors
+// incrementally instead of re-running binary searches per node.
+const sampleChunk = 256
+
 // build runs the construction with an explicit sampler implementation
 // (tests and benchmarks inject naiveExactSampler here).
 func build(ctx context.Context, cfg Config, smp sampler) (*Network, error) {
@@ -68,24 +81,28 @@ func build(ctx context.Context, cfg Config, smp sampler) (*Network, error) {
 		cfg:  cfg,
 		keys: keys,
 		norm: make([]float64, cfg.N),
-		g:    graph.New(cfg.N),
 		long: make([][]int32, cfg.N),
-	}
-	for i, k := range keys {
-		nw.norm[i] = cfg.Dist.CDF(float64(k))
 	}
 	// Measure-space positions: ascending in node order for both measures
 	// (keys are sorted; the CDF is monotone). The exact sampler's band
-	// searches index into this array.
+	// searches index into this array. Per-node CDF evaluation is pure,
+	// so the fill parallelises over contiguous ranges.
+	if cfg.Measure != Mass {
+		nw.mpos = make([]float64, cfg.N)
+	}
+	graph.ParallelRanges(cfg.N, cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nw.norm[i] = cfg.Dist.CDF(float64(keys[i]))
+		}
+		if cfg.Measure != Mass {
+			for i := lo; i < hi; i++ {
+				nw.mpos[i] = float64(keys[i])
+			}
+		}
+	})
 	if cfg.Measure == Mass {
 		nw.mpos = nw.norm
-	} else {
-		nw.mpos = make([]float64, cfg.N)
-		for i, k := range keys {
-			nw.mpos[i] = float64(k)
-		}
 	}
-	nw.addNeighborEdges()
 
 	// Derive one deterministic seed per node before fanning out, so the
 	// result does not depend on scheduling.
@@ -98,36 +115,51 @@ func build(ctx context.Context, cfg Config, smp sampler) (*Network, error) {
 		return nil, fmt.Errorf("smallworld: negative degree %d", degree)
 	}
 
+	// Long-range sampling: workers claim contiguous chunks through an
+	// atomic cursor. Per-node seeded streams make the link sets a pure
+	// function of (cfg, seed) whatever the chunk/worker interleaving.
 	var wg sync.WaitGroup
-	work := make(chan int)
+	var cursor atomic.Int64
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sc := &samplerScratch{} // per-worker scratch, reused across nodes
-			for u := range work {
-				if ctx.Err() != nil {
-					continue // drain remaining work after cancellation
+			var rng xrand.Stream
+			for {
+				lo := int(cursor.Add(sampleChunk)) - sampleChunk
+				if lo >= cfg.N || ctx.Err() != nil {
+					return
 				}
-				rng := xrand.New(seeds[u])
-				nw.long[u] = smp.sampleLinks(nw, u, degree, rng, sc)
+				hi := lo + sampleChunk
+				if hi > cfg.N {
+					hi = cfg.N
+				}
+				for u := lo; u < hi; u++ {
+					rng.Reseed(seeds[u])
+					nw.long[u] = smp.sampleLinks(nw, u, degree, &rng, sc)
+				}
 			}
 		}()
 	}
-	for u := 0; u < cfg.N; u++ {
-		work <- u
-	}
-	close(work)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	// Direct-to-CSR assembly: two parallel passes build the flat
+	// adjacency the hot paths read, skipping the mutable sorted-row
+	// Graph (and its per-row inserts plus the extra Freeze copy)
+	// entirely. Rows are neighbouring edges plus the sampled long-range
+	// links; the sampler guarantees they are distinct, so the assembled
+	// CSR is bit-identical to the legacy Graph+Freeze path.
+	nw.csr = graph.AssembleCSR(cfg.N, cfg.Workers,
+		func(u int) int { return nw.neighborTargetCount(u) + len(nw.long[u]) },
+		nw.fillAdjacencyRow,
+	)
 	for u := 0; u < cfg.N; u++ {
-		nw.g.AddEdges(u, nw.long[u])
 		nw.shortfall += degree - len(nw.long[u])
 	}
-	nw.csr = nw.g.Freeze()
 	return nw, nil
 }
 
@@ -161,20 +193,50 @@ func placeKeys(cfg Config, master *xrand.Stream) (keyspace.Points, error) {
 	return pts, nil
 }
 
-// addNeighborEdges installs the paper's neighbouring edges NE: successor
-// and predecessor in key order (wrapping only on the ring).
-func (nw *Network) addNeighborEdges() {
+// neighborTargetCount returns how many neighbouring-edge targets node u
+// has: predecessor and successor in key order, wrapping only on the
+// ring (and only for n > 2, where the wrap edge is not already the
+// line edge).
+func (nw *Network) neighborTargetCount(u int) int {
 	n := nw.cfg.N
-	for i := 0; i < n; i++ {
-		if i+1 < n {
-			nw.g.AddEdge(i, i+1)
-			nw.g.AddEdge(i+1, i)
-		}
+	count := 0
+	if u > 0 {
+		count++
+	}
+	if u+1 < n {
+		count++
+	}
+	if nw.cfg.Topology == keyspace.Ring && n > 2 && (u == 0 || u == n-1) {
+		count++
+	}
+	return count
+}
+
+// fillAdjacencyRow writes node u's full out-neighbour set — the paper's
+// neighbouring edges NE plus its sampled long-range links — into row,
+// which must have length neighborTargetCount(u)+len(long[u]). The
+// assembler sorts the row afterwards.
+func (nw *Network) fillAdjacencyRow(u int, row []int32) {
+	n := nw.cfg.N
+	i := 0
+	if u > 0 {
+		row[i] = int32(u - 1)
+		i++
+	}
+	if u+1 < n {
+		row[i] = int32(u + 1)
+		i++
 	}
 	if nw.cfg.Topology == keyspace.Ring && n > 2 {
-		nw.g.AddEdge(n-1, 0)
-		nw.g.AddEdge(0, n-1)
+		if u == 0 {
+			row[i] = int32(n - 1)
+			i++
+		} else if u == n-1 {
+			row[i] = 0
+			i++
+		}
 	}
+	copy(row[i:], nw.long[u])
 }
 
 // isNeighborIndex reports whether v is one of u's neighbouring-edge
@@ -233,8 +295,16 @@ func (nw *Network) Norm(u int) float64 { return nw.norm[u] }
 
 // Graph returns the underlying directed graph (neighbour + long-range
 // edges). It must not be modified; use Clone for experiments that
-// mutate it.
-func (nw *Network) Graph() *graph.Graph { return nw.g }
+// mutate it. The mutable form is thawed from the CSR on first use —
+// construction itself assembles the CSR directly and never pays for it.
+func (nw *Network) Graph() *graph.Graph {
+	nw.gMu.Lock()
+	defer nw.gMu.Unlock()
+	if nw.g == nil {
+		nw.g = graph.FromCSR(nw.csr)
+	}
+	return nw.g
+}
 
 // CSR returns the frozen compressed-sparse-row snapshot of the overlay
 // graph — the flat adjacency every routing hot path iterates. It must
@@ -248,6 +318,23 @@ func (nw *Network) LongRange(u int) []int32 { return nw.long[u] }
 // Shortfall returns how many long-range links could not be placed
 // (sampling exhausted, e.g. in tiny networks).
 func (nw *Network) Shortfall() int { return nw.shortfall }
+
+// Footprint returns the approximate resident bytes of the overlay's
+// routing state: identifiers, normalised positions, the CSR adjacency,
+// and the per-node long-range link sets. The lazily thawed analysis
+// graph is not counted (it does not exist unless Graph() was called).
+func (nw *Network) Footprint() int64 {
+	b := int64(len(nw.keys)) * 8 // identifiers
+	b += int64(len(nw.norm)) * 8 // normalised positions
+	if nw.cfg.Measure != Mass {  // mpos aliases norm for Mass
+		b += int64(len(nw.mpos)) * 8
+	}
+	b += int64(nw.csr.N()+1)*4 + int64(nw.csr.M())*4 // CSR offsets + targets
+	for _, l := range nw.long {                      // long-link rows + headers
+		b += 24 + int64(cap(l))*4
+	}
+	return b
+}
 
 // ClosestNode returns the node whose identifier is closest to target.
 func (nw *Network) ClosestNode(target keyspace.Key) int {
@@ -271,7 +358,7 @@ func (nw *Network) WithFailedLinks(r *xrand.Stream, frac float64) *Network {
 		keys: nw.keys,
 		norm: nw.norm,
 		mpos: nw.mpos,
-		g:    nw.g.Clone(),
+		g:    graph.FromCSR(nw.csr),
 		long: make([][]int32, nw.cfg.N),
 	}
 	for u, links := range nw.long {

@@ -42,7 +42,9 @@ type Maintainer interface {
 //
 // Because each membership change resamples all identifiers, a rebuild
 // overlay models routing quality at the current population, not
-// continuity of individual nodes across events.
+// continuity of individual nodes across events. For the offline
+// small-world constructors, NewIncremental provides the realistic
+// counterpart: O(k) local repair per event at matching hop quantiles.
 func NewRebuild(ctx context.Context, name string, opts Options) (Dynamic, error) {
 	base, err := Build(ctx, name, opts)
 	if err != nil {

@@ -1,0 +1,114 @@
+package overlaynet_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/sim"
+)
+
+// TestIncrementalRebuildParity runs the full steady churn preset (10%
+// of the population per window, live query load, ~500 membership
+// events) against both dynamics drivers and requires the incremental
+// overlay's routing quality to track the idealised full-rebuild
+// baseline: p50 within 5%, mean within 10%, and p95/p99 within one hop
+// (at this small N a single hop is ~14%, so the percentage form of the
+// acceptance bar is checked at production scale by
+// TestIncrementalParityAtScale instead). Everything is seeded, so the
+// comparison is deterministic.
+func TestIncrementalRebuildParity(t *testing.T) {
+	ctx := context.Background()
+	n := 512
+	opts := overlaynet.Options{N: n, Seed: 3, Dist: dist.NewPower(0.7), Topology: keyspace.Ring}
+	sc, err := sim.Preset("steady", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 42
+
+	inc, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repInc, err := sim.Run(ctx, inc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb, err := overlaynet.NewRebuild(ctx, "smallworld-skewed", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repReb, err := sim.Run(ctx, reb, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repInc.Totals.FailRate() != 0 {
+		t.Fatalf("incremental overlay dropped %.2f%% of queries under steady churn", 100*repInc.Totals.FailRate())
+	}
+	if qi, qr := repInc.HopQuantile(0.50), repReb.HopQuantile(0.50); math.Abs(qi-qr) > 0.05*qr {
+		t.Errorf("p50 hops: incremental %.2f vs rebuild %.2f (>5%%)", qi, qr)
+	}
+	for _, p := range []float64{0.95, 0.99} {
+		if qi, qr := repInc.HopQuantile(p), repReb.HopQuantile(p); math.Abs(qi-qr) > 1 {
+			t.Errorf("p%d hops: incremental %.2f vs rebuild %.2f (> one hop)", int(100*p), qi, qr)
+		}
+	}
+	if mi, mr := repInc.Totals.MeanHops(), repReb.Totals.MeanHops(); math.Abs(mi-mr) > 0.10*mr {
+		t.Errorf("mean hops: incremental %.2f vs rebuild %.2f (>10%%)", mi, mr)
+	}
+}
+
+// TestIncrementalParityAtScale pins the acceptance bar at its stated
+// scale: N = 65,536 under the steady preset's per-node churn/query
+// intensity (horizon scaled down so the rebuild baseline stays
+// runnable), hop quantiles within 5%. Skipped in -short mode: the
+// rebuild side reconstructs a 65,536-node overlay per membership event.
+func TestIncrementalParityAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuild baseline at N=65,536 is expensive; run without -short")
+	}
+	ctx := context.Background()
+	n := 65536
+	opts := overlaynet.Options{N: n, Seed: 9, Dist: dist.NewPower(0.7), Topology: keyspace.Ring}
+	// The steady preset's shape — 10% churn and one query per node per
+	// window — over two windows of length 1 instead of ten of length 10.
+	sc := sim.Scenario{
+		Name:     "steady-scaled",
+		Duration: 2,
+		Window:   1,
+		Seed:     42,
+		Arrivals: []sim.Arrival{sim.PoissonChurn{JoinRate: 1.25, LeaveRate: 1.25}},
+		Load:     sim.Load{Rate: 500},
+	}
+
+	inc, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repInc, err := sim.Run(ctx, inc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb, err := overlaynet.NewRebuild(ctx, "smallworld-skewed", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repReb, err := sim.Run(ctx, reb, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repInc.Totals.FailRate() != 0 {
+		t.Fatalf("incremental overlay dropped %.2f%% of queries", 100*repInc.Totals.FailRate())
+	}
+	for _, p := range []float64{0.50, 0.95, 0.99} {
+		qi, qr := repInc.HopQuantile(p), repReb.HopQuantile(p)
+		if math.Abs(qi-qr) > 0.05*qr {
+			t.Errorf("p%d hops at N=65536: incremental %.2f vs rebuild %.2f (>5%%)", int(100*p), qi, qr)
+		}
+	}
+}

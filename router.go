@@ -20,8 +20,30 @@ import (
 type Router struct {
 	nw   *Network
 	path []int
-	mark []int32 // NoN lookahead dedup: mark[v] == gen means already scanned
+	mark []int32 // epoch marks: mark[v] == gen means seen this generation
 	gen  int32
+
+	// Backtracking scratch (see faults.go): the DFS frame stack and the
+	// flat buffer its per-frame candidate windows slice into.
+	btFrames []btFrame
+	btCands  []int32
+}
+
+// nextGen sizes the mark table to the network and opens a fresh epoch:
+// after it returns, mark[v] == gen holds for no node. Both the NoN
+// lookahead (one epoch per hop) and backtracking (one epoch per route)
+// mark through it, which is what keeps those paths allocation-free.
+func (r *Router) nextGen() int32 {
+	if len(r.mark) < r.nw.cfg.N {
+		r.mark = make([]int32, r.nw.cfg.N)
+		r.gen = 0
+	}
+	if r.gen == math.MaxInt32 { // epoch wrap: reset the stamp table
+		clear(r.mark)
+		r.gen = 0
+	}
+	r.gen++
+	return r.gen
 }
 
 // NewRouter returns a router with empty scratch bound to nw.
@@ -165,21 +187,12 @@ func (r *Router) RouteGreedyNoN(src int, target keyspace.Key) Route {
 	nw := r.nw
 	topo := nw.cfg.Topology
 	keys, csr := nw.keys, nw.csr
-	if len(r.mark) < nw.cfg.N {
-		r.mark = make([]int32, nw.cfg.N)
-		r.gen = 0
-	}
 	cur := src
 	r.path = append(r.path[:0], src)
 	guard := maxHopsFor(nw.cfg.N)
 	dCur := topo.Distance(keys[cur], target)
 	for len(r.path) < guard {
-		if r.gen == math.MaxInt32 { // epoch wrap: reset the stamp table
-			clear(r.mark)
-			r.gen = 0
-		}
-		r.gen++
-		gen := r.gen
+		gen := r.nextGen()
 		r.mark[cur] = gen
 
 		// Best direct neighbour (with the plateau tie-break); every

@@ -64,6 +64,119 @@ type samplerScratch struct {
 	alias []int16
 	small []int16
 	large []int16
+	// Incremental cursor state of the band boundary searches.
+	scan bandScan
+}
+
+// bandScan caches the band boundary indices of the previously scanned
+// node so that scanning the next node in position order advances each
+// boundary by a few comparisons instead of re-running a binary search.
+//
+// Every dyadic band boundary of node u sits at a fixed measure offset
+// from u's own position x: wrap(x ± lo·2^k) on the ring, x ± lo·2^k on
+// the line. Positions are scanned in ascending order within each
+// construction chunk, so each boundary index is a nondecreasing
+// function of u (modulo one wrap per sweep on the ring) and a cursor
+// can gallop forward. Any non-consecutive access — a chunk start, a
+// test probing strided nodes, a ring boundary wrapping past 1 — falls
+// back to the binary search, so the computed indices are always exactly
+// those of the search-based reference (appendBandsSearch).
+type bandScan struct {
+	nw    *Network  // network the cursors are valid for
+	prevU int       // node the cursors currently describe
+	offs  []float64 // dyadic lower bounds lo·2^k, ascending
+
+	cw      []int32   // per band: first index with pos >= (wrapped) x+off
+	ccw     []int32   // per band: first index with pos >  (wrapped) x-off
+	cwPrev  []float64 // wrapped targets the cw cursors were advanced to
+	ccwPrev []float64
+
+	// Ring only: first index past the antipode wrap(x±½), shared by the
+	// last clockwise and counter-clockwise bands.
+	anti     int32
+	antiPrev float64
+}
+
+// init sizes the cursor state for nw's band structure and invalidates
+// every cursor.
+func (bs *bandScan) init(nw *Network) {
+	bs.nw = nw
+	bs.prevU = -2
+	bs.offs = bs.offs[:0]
+	maxM := nw.cfg.Topology.MaxDistance()
+	for blo := nw.cfg.MinMeasure; blo < maxM; blo *= 2 {
+		bs.offs = append(bs.offs, blo)
+	}
+	k := len(bs.offs)
+	if cap(bs.cw) < k {
+		bs.cw = make([]int32, k)
+		bs.ccw = make([]int32, k)
+		bs.cwPrev = make([]float64, k)
+		bs.ccwPrev = make([]float64, k)
+	}
+	bs.cw = bs.cw[:k]
+	bs.ccw = bs.ccw[:k]
+	bs.cwPrev = bs.cwPrev[:k]
+	bs.ccwPrev = bs.ccwPrev[:k]
+}
+
+// ensure moves every boundary cursor to node u's targets.
+func (bs *bandScan) ensure(nw *Network, u int) {
+	if bs.nw != nw {
+		bs.init(nw)
+	}
+	pos := nw.mpos
+	x := pos[u]
+	inc := u == bs.prevU+1 || u == bs.prevU
+	bs.prevU = u
+	if nw.cfg.Topology == keyspace.Ring {
+		for k, off := range bs.offs {
+			t := wrapUnit(x + off)
+			bs.cw[k] = advanceGE(pos, bs.cw[k], bs.cwPrev[k], t, inc)
+			bs.cwPrev[k] = t
+			t = wrapUnit(x - off)
+			bs.ccw[k] = advanceGT(pos, bs.ccw[k], bs.ccwPrev[k], t, inc)
+			bs.ccwPrev[k] = t
+		}
+		t := wrapUnit(x + 0.5)
+		bs.anti = advanceGT(pos, bs.anti, bs.antiPrev, t, inc)
+		bs.antiPrev = t
+		return
+	}
+	for k, off := range bs.offs {
+		t := x + off
+		bs.cw[k] = advanceGE(pos, bs.cw[k], bs.cwPrev[k], t, inc)
+		bs.cwPrev[k] = t
+		t = x - off
+		bs.ccw[k] = advanceGT(pos, bs.ccw[k], bs.ccwPrev[k], t, inc)
+		bs.ccwPrev[k] = t
+	}
+}
+
+// advanceGE returns the first index with pos[i] >= t, galloping forward
+// from idx when the cursor is warm (inc) and t has not wrapped below the
+// previously scanned target.
+func advanceGE(pos []float64, idx int32, prev, t float64, inc bool) int32 {
+	if !inc || t < prev {
+		return int32(sort.SearchFloat64s(pos, t))
+	}
+	n := int32(len(pos))
+	for idx < n && pos[idx] < t {
+		idx++
+	}
+	return idx
+}
+
+// advanceGT is advanceGE for the strict boundary: first pos[i] > t.
+func advanceGT(pos []float64, idx int32, prev, t float64, inc bool) int32 {
+	if !inc || t < prev {
+		return int32(searchGT(pos, t))
+	}
+	n := int32(len(pos))
+	for idx < n && pos[idx] <= t {
+		idx++
+	}
+	return idx
 }
 
 type exactSampler struct{}
@@ -137,8 +250,97 @@ func (exactSampler) sampleLinks(nw *Network, u, m int, rng *xrand.Stream, sc *sa
 }
 
 // appendBands fills sc.bands with node u's dyadic candidate runs and
-// returns the total envelope weight Σ count·bound.
+// returns the total envelope weight Σ count·bound. Boundary indices come
+// from the scratch's incremental cursors (exactly equal to the binary
+// searches of appendBandsSearch, amortised O(1) per band when nodes are
+// scanned in position order — which the chunked build loop guarantees).
 func (nw *Network) appendBands(u int, sc *samplerScratch) float64 {
+	sc.bands = sc.bands[:0]
+	bs := &sc.scan
+	bs.ensure(nw, u)
+	n := len(nw.mpos)
+	r := nw.cfg.Exponent
+	ring := nw.cfg.Topology == keyspace.Ring
+
+	var total float64
+	push := func(i1 int32, count int, blo float64) {
+		if count <= 0 {
+			return
+		}
+		var bound float64
+		if r == 1 {
+			bound = 1 / blo
+		} else {
+			bound = math.Pow(blo, -r)
+		}
+		start := int(i1)
+		if start >= n {
+			start -= n
+		}
+		sc.bands = append(sc.bands, band{start: int32(start), count: int32(count), blo: blo, bound: bound})
+		total += float64(count) * bound
+	}
+
+	last := len(bs.offs) - 1
+	for k, blo := range bs.offs {
+		if ring {
+			// Clockwise arc [x+blo, x+bhi) — closed above at the antipode
+			// for the last band — then the counter-clockwise mirror; see
+			// appendBandsSearch for the inclusivity derivation.
+			i1, an := bs.cw[k], bs.cwPrev[k]
+			var i2 int32
+			var bn float64
+			if k < last {
+				i2, bn = bs.cw[k+1], bs.cwPrev[k+1]
+			} else {
+				i2, bn = bs.anti, bs.antiPrev
+			}
+			push(i1, circCount(n, i1, i2, an, bn), blo)
+			var j1 int32
+			var an2 float64
+			if k < last {
+				j1, an2 = bs.ccw[k+1], bs.ccwPrev[k+1]
+			} else {
+				j1, an2 = bs.anti, bs.antiPrev
+			}
+			j2, bn2 := bs.ccw[k], bs.ccwPrev[k]
+			push(j1, circCount(n, j1, j2, an2, bn2), blo)
+			continue
+		}
+		// Line right side [x+blo, x+bhi), open-ended on the last band.
+		i1 := bs.cw[k]
+		i2 := int32(n)
+		if k < last {
+			i2 = bs.cw[k+1]
+		}
+		push(i1, int(i2-i1), blo)
+		// Line left side (x-bhi, x-blo], open-ended on the last band.
+		j2 := bs.ccw[k]
+		var j1 int32
+		if k < last {
+			j1 = bs.ccw[k+1]
+		}
+		push(j1, int(j2-j1), blo)
+	}
+	return total
+}
+
+// circCount is circRange's index arithmetic over cursor-derived
+// boundaries: i1/i2 are the search indices of the wrapped bounds an/bn,
+// and the run wraps past the end of the position array exactly when the
+// wrapped bounds are out of order.
+func circCount(n int, i1, i2 int32, an, bn float64) int {
+	if an <= bn {
+		return int(i2 - i1)
+	}
+	return (n - int(i1)) + int(i2)
+}
+
+// appendBandsSearch is the binary-search reference implementation of the
+// band decomposition, retained to pin the cursor-based appendBands
+// bit-exactly (TestBandScanMatchesBinarySearch) and for documentation of
+// the boundary inclusivity rules.
+func (nw *Network) appendBandsSearch(u int, sc *samplerScratch) float64 {
 	sc.bands = sc.bands[:0]
 	pos := nw.mpos
 	n := len(pos)
@@ -395,7 +597,19 @@ func (protocolSampler) sampleLinks(nw *Network, u, m int, rng *xrand.Stream, _ *
 // m ∝ m^-r from pos, honouring the line/ring geometry. ok is false when
 // no eligible offset exists on either side.
 func sampleMeasureTarget(nw *Network, pos, r, lo float64, rng *xrand.Stream) (float64, bool) {
-	if nw.cfg.Topology == keyspace.Ring {
+	return DrawMeasureTarget(rng, nw.cfg.Topology, pos, r, lo)
+}
+
+// DrawMeasureTarget performs one Section 4.2 link draw in measure
+// space: starting from position pos, it draws an offset with density
+// ∝ m^-r over the eligible range [lo, maxM], honouring the line/ring
+// geometry (uniform side choice on the ring, side-mass weighting on
+// the line). ok is false when no eligible offset exists on either
+// side. It is the draw the Protocol sampler builds with; dynamic
+// overlays (overlaynet.NewIncremental) share it so offline
+// construction and live repair follow the identical distribution.
+func DrawMeasureTarget(rng *xrand.Stream, topo keyspace.Topology, pos, r, lo float64) (float64, bool) {
+	if topo == keyspace.Ring {
 		const hi = 0.5
 		if hi <= lo {
 			return 0, false

@@ -1,0 +1,69 @@
+package smallworld
+
+import (
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// The cursor-based band scan must reproduce the binary-search reference
+// bit-exactly for every access pattern: the chunked build loop scans
+// nodes in ascending runs (warm cursors), while tests and shortfall
+// retries can probe arbitrary nodes (cold re-seeks). Divergence here
+// would silently change every exact-sampler build.
+func TestBandScanMatchesBinarySearch(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"mass-ring", Config{N: 257, Dist: dist.NewPower(0.8), Measure: Mass, Topology: keyspace.Ring, Seed: 71}},
+		{"mass-line", Config{N: 256, Dist: dist.NewTruncExp(6), Measure: Mass, Topology: keyspace.Line, Seed: 72}},
+		{"geometric-ring", Config{N: 300, Dist: dist.Uniform{}, Measure: Geometric, Topology: keyspace.Ring, Seed: 73}},
+		{"geometric-line", Config{N: 192, Dist: dist.NewPower(0.5), Measure: Geometric, Topology: keyspace.Line, Seed: 74}},
+		{"kleinberg-r2", func() Config {
+			c := KleinbergConfig(200, 6, 2, 75)
+			c.Topology = keyspace.Ring
+			return c
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nw := mustBuild(t, tc.cfg)
+			cur, ref := &samplerScratch{}, &samplerScratch{}
+			check := func(u int) {
+				t.Helper()
+				tot := nw.appendBands(u, cur)
+				totRef := nw.appendBandsSearch(u, ref)
+				if tot != totRef {
+					t.Fatalf("node %d: envelope total %v vs reference %v", u, tot, totRef)
+				}
+				if len(cur.bands) != len(ref.bands) {
+					t.Fatalf("node %d: %d bands vs reference %d", u, len(cur.bands), len(ref.bands))
+				}
+				for i := range cur.bands {
+					if cur.bands[i] != ref.bands[i] {
+						t.Fatalf("node %d band %d: %+v vs reference %+v", u, i, cur.bands[i], ref.bands[i])
+					}
+				}
+			}
+			// Ascending sweep: the warm-cursor path of the build loop.
+			for u := 0; u < nw.N(); u++ {
+				check(u)
+			}
+			// Strided and random probes force cold re-seeks between warm
+			// runs, including mid-array chunk starts.
+			for u := 0; u < nw.N(); u += 7 {
+				check(u)
+			}
+			rng := xrand.New(tc.cfg.Seed)
+			for i := 0; i < 200; i++ {
+				u := rng.Intn(nw.N())
+				check(u)
+				for j := 0; j < 3 && u+j < nw.N(); j++ {
+					check(u + j) // short ascending run after a jump
+				}
+			}
+		})
+	}
+}

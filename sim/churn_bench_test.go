@@ -1,0 +1,80 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/sim"
+)
+
+// The churn-repair benchmarks compare the two dynamics drivers for the
+// offline small-world constructors at production scale (N = 65,536,
+// skewed identifiers): overlaynet.NewIncremental, which repairs O(k)
+// links per membership event behind a delta-overlay CSR, against
+// overlaynet.NewRebuild, which reconstructs the whole overlay per
+// event. The scenario is the steady preset's shape scaled down to a
+// handful of events so the rebuild side stays runnable; µs/event is the
+// number to compare (the PR's acceptance bar is ≥50× — measured locally
+// at three orders of magnitude).
+
+const churnBenchN = 65536
+
+func churnBenchScenario() sim.Scenario {
+	return sim.Scenario{
+		Name:     "churnbench",
+		Duration: 2,
+		Window:   1,
+		Seed:     7,
+		// ~5 membership events per run plus a live query load, the
+		// steady preset's per-node intensity at 1/2000 of its horizon.
+		Arrivals: []sim.Arrival{sim.PoissonChurn{JoinRate: 1.25, LeaveRate: 1.25}},
+		Load:     sim.Load{Rate: 250},
+	}
+}
+
+func churnBenchOpts() overlaynet.Options {
+	return overlaynet.Options{
+		N: churnBenchN, Seed: 9,
+		Dist:     dist.NewPower(0.7),
+		Topology: keyspace.Ring,
+	}
+}
+
+func runChurnBench(b *testing.B, build func() (overlaynet.Dynamic, error)) {
+	b.ReportAllocs()
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ov, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := sim.Run(context.Background(), ov, churnBenchScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Totals.Joins + rep.Totals.Leaves
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events)/1e3, "µs/event")
+		b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	}
+}
+
+func BenchmarkChurnIncremental(b *testing.B) {
+	runChurnBench(b, func() (overlaynet.Dynamic, error) {
+		return overlaynet.NewIncremental(context.Background(), "smallworld-skewed", churnBenchOpts())
+	})
+}
+
+func BenchmarkChurnRebuild(b *testing.B) {
+	runChurnBench(b, func() (overlaynet.Dynamic, error) {
+		return overlaynet.NewRebuild(context.Background(), "smallworld-skewed", churnBenchOpts())
+	})
+}

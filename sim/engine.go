@@ -123,6 +123,7 @@ func newEngine(ctx context.Context, ov overlaynet.Dynamic, sc Scenario) *Engine 
 		ctx:     ctx,
 		rng:     master.Split(),
 		loadRNG: master.Split(),
+		queue:   make(eventQueue, 0, 64),
 		rec:     newRecorder(sc, ov),
 	}
 	e.arrRNG = make([]*xrand.Stream, len(sc.Arrivals))

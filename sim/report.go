@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"smallworld/metrics"
@@ -197,12 +198,20 @@ type recorder struct {
 	series [14]metrics.Series
 	tot    Totals
 	all    []float64
+	sorted []float64 // per-window quantile scratch, reused across windows
 	trace  []TraceEvent
 }
 
 func newRecorder(sc Scenario, ov overlaynet.Dynamic) *recorder {
 	rec := &recorder{sc: sc, overlay: ov.Kind()}
 	rec.tot.StartNodes = ov.N()
+	// Pre-size every reused buffer from the scenario's expectations so
+	// the event loop runs without steady-state growth: one point per
+	// window in each series, and roughly Rate·Window query hops per
+	// window (Poisson fluctuations beyond the slack grow amortised).
+	windows := int(sc.Duration/sc.Window) + 2
+	perWindow := int(sc.Load.Rate*sc.Window) + 16
+	perWindow += perWindow / 4
 	for i, name := range []string{
 		SeriesHopsMean, SeriesHopsP50, SeriesHopsP95, SeriesHopsP99,
 		SeriesFailRate, SeriesTimeouts, SeriesQueries, SeriesJoins,
@@ -210,7 +219,11 @@ func newRecorder(sc Scenario, ov overlaynet.Dynamic) *recorder {
 		SeriesTotalMsgs, SeriesMsgsPerOp,
 	} {
 		rec.series[i].Name = name
+		rec.series[i].Points = make([]metrics.Point, 0, windows)
 	}
+	rec.winHops = make([]float64, 0, perWindow)
+	rec.sorted = make([]float64, 0, perWindow)
+	rec.all = make([]float64, 0, int(sc.Load.Rate*sc.Duration)+16)
 	return rec
 }
 
@@ -275,10 +288,14 @@ func (rec *recorder) query(t float64, res overlaynet.Result, timeoutHops int) {
 func (rec *recorder) closeWindow(e *Engine, t float64) {
 	mean, p50, p95, p99 := 0.0, 0.0, 0.0, 0.0
 	if len(rec.winHops) > 0 {
+		// One sorted copy in reusable scratch serves all three quantiles
+		// (metrics.Percentile would copy and sort per call).
 		mean = metrics.Mean(rec.winHops)
-		p50 = metrics.Percentile(rec.winHops, 0.50)
-		p95 = metrics.Percentile(rec.winHops, 0.95)
-		p99 = metrics.Percentile(rec.winHops, 0.99)
+		rec.sorted = append(rec.sorted[:0], rec.winHops...)
+		sort.Float64s(rec.sorted)
+		p50 = metrics.PercentileSorted(rec.sorted, 0.50)
+		p95 = metrics.PercentileSorted(rec.sorted, 0.95)
+		p99 = metrics.PercentileSorted(rec.sorted, 0.99)
 	}
 	failRate, timeoutRate := 0.0, 0.0
 	if rec.winQueries > 0 {

@@ -30,16 +30,23 @@ func splitmix64(state *uint64) uint64 {
 // New returns a stream seeded deterministically from seed.
 func New(seed uint64) *Stream {
 	var st Stream
+	st.Reseed(seed)
+	return &st
+}
+
+// Reseed resets r in place to the state New(seed) would produce. It lets
+// per-node construction loops reuse one stack-allocated Stream instead
+// of heap-allocating a fresh generator per node.
+func (r *Stream) Reseed(seed uint64) {
 	sm := seed
-	for i := range st.s {
-		st.s[i] = splitmix64(&sm)
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
 	}
 	// xoshiro must not start from the all-zero state; splitmix64 cannot
 	// produce four consecutive zeros, but guard anyway.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &st
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
