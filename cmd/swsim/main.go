@@ -26,6 +26,16 @@
 // overlaynet.NewRebuild, so every registered overlay is drivable;
 // -dynamic incremental selects overlaynet.NewIncremental's O(k)
 // per-event repair for the offline small-world constructors instead.
+//
+// Serve mode measures the real thing: the overlay is wrapped in an
+// overlaynet.Publisher and a closed-loop wall-clock query load routes
+// lock-free against published snapshots while churn applies on the
+// writer side (package sim's Serve harness):
+//
+//	swsim -serve list
+//	swsim -serve steady [-topology smallworld-skewed] [-n 65536] \
+//	      [-workers 8] [-serve-duration 2s] [-dynamic incremental] \
+//	      [-sim-json report.json] [-sim-csv report.csv]
 package main
 
 import (
@@ -57,6 +67,9 @@ func main() {
 	fail := flag.Float64("fail", 0, "fraction of long links to fail before routing")
 	verbose := flag.Bool("verbose", false, "print per-partition link histogram (small-world family)")
 	scenario := flag.String("scenario", "", "run a churn scenario instead of a static snapshot ('list' prints presets)")
+	serve := flag.String("serve", "", "run a wall-clock serving scenario against a snapshot Publisher ('list' prints presets)")
+	workers := flag.Int("workers", 0, "serve mode: closed-loop query goroutines (0 = GOMAXPROCS)")
+	serveDuration := flag.Duration("serve-duration", 0, "serve mode: wall-clock run length (0 = preset default)")
 	dynamic := flag.String("dynamic", "", "churn driver for static topologies: rebuild (default) or incremental (offline small-world constructors only)")
 	duration := flag.Float64("duration", 0, "scenario duration in virtual time (0 = preset default)")
 	window := flag.Float64("window", 0, "scenario metrics window (0 = preset default)")
@@ -103,9 +116,93 @@ func main() {
 	if *dynamic != "" && *dynamic != "rebuild" && *dynamic != "incremental" {
 		die(fmt.Errorf("unknown -dynamic %q (want rebuild or incremental)", *dynamic))
 	}
-	if *dynamic != "" && *scenario == "" {
-		die(fmt.Errorf("-dynamic only applies to churn scenarios; pass -scenario too"))
+	if *dynamic != "" && *scenario == "" && *serve == "" {
+		die(fmt.Errorf("-dynamic only applies to churn scenarios; pass -scenario or -serve too"))
 	}
+	if *scenario != "" && *serve != "" {
+		die(fmt.Errorf("-scenario and -serve are mutually exclusive"))
+	}
+
+	// buildDynamic resolves the churn driver shared by -scenario and
+	// -serve: the topology's own Dynamic implementation when it has one,
+	// otherwise incremental O(k) repair or full rebuild per -dynamic.
+	buildDynamic := func() overlaynet.Dynamic {
+		if *dynamic == "incremental" {
+			// Incremental O(k)-per-event repair; only the offline
+			// small-world constructors support it.
+			dyn, err := overlaynet.NewIncremental(ctx, *topology, opts)
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("(%s wrapped with overlaynet.NewIncremental)\n", *topology)
+			return dyn
+		}
+		built, err := overlaynet.Build(ctx, *topology, opts)
+		if err != nil {
+			die(err)
+		}
+		if live, ok := built.(overlaynet.Dynamic); ok {
+			return live
+		}
+		fmt.Printf("(%s is static; wrapping with overlaynet.NewRebuild)\n", *topology)
+		dyn, err := overlaynet.NewRebuildFrom(built, *topology, opts)
+		if err != nil {
+			die(err)
+		}
+		return dyn
+	}
+	writeReport := func(path string, write func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			die(err)
+		}
+		if err := write(f); err != nil {
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if *serve != "" {
+		if *serve == "list" {
+			for _, name := range sim.ServePresetNames() {
+				fmt.Println(name)
+			}
+			return
+		}
+		cfg, err := sim.ServePreset(*serve, *n)
+		if err != nil {
+			die(err)
+		}
+		cfg.Seed = *seed
+		cfg.Target = sim.DataTargets(d)
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		if *serveDuration > 0 {
+			// A preset Window longer than the shortened Duration is
+			// re-derived by sim.Serve's own defaulting.
+			cfg.Duration = *serveDuration
+		}
+		pub, err := overlaynet.NewPublisher(buildDynamic())
+		if err != nil {
+			die(err)
+		}
+		report, err := sim.Serve(ctx, pub, cfg)
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(report)
+		writeReport(*simJSON, func(f *os.File) error { return report.WriteJSON(f) })
+		writeReport(*simCSV, func(f *os.File) error { return report.WriteCSV(f) })
+		return
+	}
+
 	if *scenario != "" {
 		if *scenario == "list" {
 			for _, name := range sim.PresetNames() {
@@ -126,47 +223,11 @@ func main() {
 		sc.Seed = *seed
 		sc.Load.Target = sim.DataTargets(d)
 
-		var dyn overlaynet.Dynamic
-		if *dynamic == "incremental" {
-			// Incremental O(k)-per-event repair; only the offline
-			// small-world constructors support it.
-			var err error
-			if dyn, err = overlaynet.NewIncremental(ctx, *topology, opts); err != nil {
-				die(err)
-			}
-			fmt.Printf("(%s wrapped with overlaynet.NewIncremental)\n", *topology)
-		} else if built, err := overlaynet.Build(ctx, *topology, opts); err != nil {
-			die(err)
-		} else if live, ok := built.(overlaynet.Dynamic); ok {
-			dyn = live
-		} else {
-			fmt.Printf("(%s is static; wrapping with overlaynet.NewRebuild)\n", *topology)
-			if dyn, err = overlaynet.NewRebuild(ctx, *topology, opts); err != nil {
-				die(err)
-			}
-		}
-
-		report, err := sim.Run(ctx, dyn, sc)
+		report, err := sim.Run(ctx, buildDynamic(), sc)
 		if err != nil {
 			die(err)
 		}
 		fmt.Print(report)
-		writeReport := func(path string, write func(*os.File) error) {
-			if path == "" {
-				return
-			}
-			f, err := os.Create(path)
-			if err != nil {
-				die(err)
-			}
-			if err := write(f); err != nil {
-				die(err)
-			}
-			if err := f.Close(); err != nil {
-				die(err)
-			}
-			fmt.Printf("wrote %s\n", path)
-		}
 		writeReport(*simJSON, func(f *os.File) error { return report.WriteJSON(f) })
 		writeReport(*simCSV, func(f *os.File) error { return report.WriteCSV(f) })
 		return

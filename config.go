@@ -185,6 +185,14 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.MinMeasure == 0 {
 		cfg.MinMeasure = 1 / float64(cfg.N)
+		if max := cfg.Topology.MaxDistance(); cfg.MinMeasure >= max {
+			// N = 2 on the ring: the derived floor 1/N reaches the space
+			// diameter. Clamp below it so the minimum legal population
+			// builds (it simply places few or no long links) instead of
+			// rejecting its own default — churn drivers must be able to
+			// drain to two nodes and recover.
+			cfg.MinMeasure = max / 2
+		}
 	}
 	if cfg.MinMeasure < 0 || cfg.MinMeasure >= cfg.Topology.MaxDistance() {
 		return cfg, fmt.Errorf("smallworld: MinMeasure %v outside (0, %v)", cfg.MinMeasure, cfg.Topology.MaxDistance())

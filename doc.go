@@ -51,7 +51,9 @@
 //     processes (Poisson churn, flash crowds, diurnal waves, mass
 //     failures, session lifetimes) drive any Dynamic overlay while a
 //     query load routes concurrently, recording windowed time-series
-//     health metrics with JSON/CSV export.
+//     health metrics with JSON/CSV export; plus the wall-clock serving
+//     harness (sim.Serve) running closed-loop concurrent query workers
+//     against overlaynet.Publisher snapshots.
 //
 // The comparison baselines themselves (internal/dht/*, internal/
 // wattsstrogatz, internal/overlay) and the experiment harness
@@ -108,6 +110,28 @@
 // overlaynet.NewIncremental (O(k) local rewiring per event behind a
 // delta-overlay CSR — hundreds of times cheaper at equal routing
 // quality; experiment E20 and the churn benchmarks quantify both).
+//
+// For real concurrency — goroutines routing while membership mutates —
+// overlaynet.Publisher publishes immutable epoch snapshots through an
+// atomic pointer (the RCU discipline): readers route lock-free against
+// the latest Snapshot while Join/Leave apply on the writer side, and
+// sim.Serve measures the resulting closed-loop serving capacity with
+// hop and latency quantiles (experiment E21).
+//
+// # Range queries
+//
+// Range queries are why order preservation matters: RangeLookup routes
+// greedily to the interval's low end and then walks successor cells.
+// Its contract is exact: RangeResult.Nodes[0] is always the node whose
+// half-open Cell contains the interval's low end — the locate
+// correction walks key order (bounded by N) until the containing cell
+// is reached, rather than probing a fixed neighbourhood, so degenerate
+// identifier spacings (ulp-adjacent keys from heavily skewed densities,
+// zero-width cells) and degraded locate terminals cannot surface a
+// non-responsible first node. Cells tile the key space exactly once:
+// the line's top cell ends at exactly 1 (inclusive top end), and when
+// neighbouring identifiers coincide the upper one owns the shared
+// point.
 //
 // See README.md for a tour. The benchmarks in bench_test.go regenerate
 // every experiment table (run with -v to see them).

@@ -389,8 +389,8 @@ func TestE19SustainsLogHopsUnderChurn(t *testing.T) {
 
 func TestRunnersComplete(t *testing.T) {
 	rs := Runners()
-	if len(rs) != 20 {
-		t.Fatalf("expected 20 runners, got %d", len(rs))
+	if len(rs) != 21 {
+		t.Fatalf("expected 21 runners, got %d", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

@@ -33,6 +33,7 @@ func Runners() []Runner {
 		{"E18", "node failures and backtracking", E18NodeFailures},
 		{"E19", "routing under churn (sim)", E19ChurnDynamics},
 		{"E20", "million-node scale (build/memory/routing)", E20LargeScale},
+		{"E21", "serving under churn (lock-free snapshots)", E21ServeUnderChurn},
 	}
 }
 

@@ -1,0 +1,126 @@
+package overlaynet
+
+import (
+	"context"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+)
+
+// The drain-to-empty contract: every Dynamic constructor and mutator
+// must error (or reject) at the population floor instead of panicking.
+// N ∈ {1, 2, 3} walks each boundary: below the representable minimum,
+// at the floor, and one leave above it.
+
+func tinyOpts(n int) Options {
+	return Options{N: n, Seed: 13, Dist: dist.NewPower(0.7), Topology: keyspace.Ring}
+}
+
+func TestIncrementalTinyPopulations(t *testing.T) {
+	ctx := context.Background()
+	if _, err := NewIncremental(ctx, "smallworld-skewed", tinyOpts(1)); err == nil {
+		t.Fatal("N=1 constructed; want an error (no overlay represents one node)")
+	}
+	for n := 2; n <= 3; n++ {
+		dyn, err := NewIncremental(ctx, "smallworld-skewed", tinyOpts(n))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		// Drain to the floor: every leave above 2 succeeds, the leave
+		// that would go below 2 errors, and nothing panics.
+		for dyn.N() > 2 {
+			if err := dyn.Leave(ctx, 0); err != nil {
+				t.Fatalf("leave at %d nodes: %v", dyn.N(), err)
+			}
+		}
+		if err := dyn.Leave(ctx, 0); err == nil {
+			t.Fatalf("leave at the 2-node floor succeeded (started N=%d)", n)
+		}
+		if err := dyn.Leave(ctx, 99); err == nil {
+			t.Fatal("leave of an unknown node succeeded")
+		}
+		// The floor is recoverable: join back up and the overlay still
+		// routes and satisfies its invariants.
+		for i := 0; i < 6; i++ {
+			if err := dyn.Join(ctx); err != nil {
+				t.Fatalf("join %d from the floor: %v", i, err)
+			}
+		}
+		checkIncrementalInvariants(t, dyn.(*incrementalOverlay))
+		r := dyn.NewRouter()
+		if res := r.Route(0, dyn.Key(dyn.N()-1)); !res.Arrived {
+			t.Fatalf("routing broken after drain/refill at N=%d", dyn.N())
+		}
+	}
+}
+
+func TestRebuildTinyPopulations(t *testing.T) {
+	ctx := context.Background()
+	if _, err := NewRebuild(ctx, "smallworld-skewed", tinyOpts(1)); err == nil {
+		t.Fatal("N=1 constructed; want an error")
+	}
+	dyn, err := NewRebuild(ctx, "smallworld-skewed", tinyOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dyn.Leave(ctx, 0); err != nil {
+		t.Fatalf("leave at 3 nodes: %v", err)
+	}
+	if err := dyn.Leave(ctx, 0); err == nil {
+		t.Fatal("rebuild to 1 node succeeded; want an error")
+	}
+	if dyn.N() != 2 {
+		t.Fatalf("failed leave changed the population to %d", dyn.N())
+	}
+	if err := dyn.Join(ctx); err != nil {
+		t.Fatalf("join from the floor: %v", err)
+	}
+}
+
+func TestProtocolTinyPopulations(t *testing.T) {
+	ctx := context.Background()
+	ov, err := Build(ctx, "protocol", tinyOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := ov.(Dynamic)
+	if err := dyn.Leave(ctx, 0); err != nil {
+		t.Fatalf("leave at 3 peers: %v", err)
+	}
+	// The protocol network refuses to shrink below 2 peers; the adapter
+	// must surface that as a rejection, not a panic or a silent success
+	// that desynchronises callers.
+	before := dyn.N()
+	_ = dyn.Leave(ctx, 0)
+	if dyn.N() < 2 || dyn.N() > before {
+		t.Fatalf("population left the [2, %d] envelope: %d", before, dyn.N())
+	}
+}
+
+// TestPublisherTinyPopulations: the serving wrapper forwards floor
+// errors without publishing a broken epoch.
+func TestPublisherTinyPopulations(t *testing.T) {
+	ctx := context.Background()
+	dyn, err := NewIncremental(ctx, "smallworld-skewed", tinyOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(dyn, PublishEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := pub.Epoch()
+	if err := pub.Leave(ctx, 0); err == nil {
+		t.Fatal("publisher drained below the floor")
+	}
+	if pub.Epoch() != epoch {
+		t.Fatal("failed leave published a new epoch")
+	}
+	if err := pub.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pub.Snapshot().N() != 3 {
+		t.Fatalf("published N = %d, want 3", pub.Snapshot().N())
+	}
+}

@@ -50,6 +50,18 @@ func NewRebuild(ctx context.Context, name string, opts Options) (Dynamic, error)
 	if err != nil {
 		return nil, err
 	}
+	return NewRebuildFrom(base, name, opts)
+}
+
+// NewRebuildFrom is NewRebuild with an already-built first generation:
+// callers that had to construct the overlay anyway (the CLI probes for
+// Dynamic support) avoid paying the full O(N·k) build a second time.
+// base must come from Build with the same (name, opts), or the rebuilt
+// generations will not continue its trajectory.
+func NewRebuildFrom(base Overlay, name string, opts Options) (Dynamic, error) {
+	if base == nil {
+		return nil, fmt.Errorf("overlaynet: nil base overlay")
+	}
 	return &rebuildOverlay{name: name, opts: opts, cur: base}, nil
 }
 
@@ -62,13 +74,41 @@ type rebuildOverlay struct {
 	cur  Overlay
 }
 
-func (o *rebuildOverlay) Kind() string            { return "rebuild:" + o.name }
+func (o *rebuildOverlay) Kind() string { return "rebuild:" + o.name }
+
+// Topology forwards the current generation's key-space geometry, when
+// it exposes one (the small-world family does; ring-native DHTs don't
+// need to).
+func (o *rebuildOverlay) Topology() keyspace.Topology {
+	if th, ok := o.cur.(topologyHaver); ok {
+		return th.Topology()
+	}
+	return keyspace.Ring
+}
 func (o *rebuildOverlay) N() int                  { return o.cur.N() }
 func (o *rebuildOverlay) Key(u int) keyspace.Key  { return o.cur.Key(u) }
 func (o *rebuildOverlay) Keys() []keyspace.Key    { return o.cur.Keys() }
 func (o *rebuildOverlay) Neighbors(u int) []int32 { return o.cur.Neighbors(u) }
 func (o *rebuildOverlay) NewRouter() Router       { return o.cur.NewRouter() }
 func (o *rebuildOverlay) Stats() Stats            { return o.cur.Stats() }
+
+// CaptureSnapshot implements Snapshotter: the current generation is
+// never mutated after construction (membership changes replace it
+// wholesale), so the snapshot retains it and routes through the
+// overlay's own semantics — Chord's clockwise fingers or Pastry's
+// digit correction would strand most queries under the generic
+// distance-greedy CSR router.
+func (o *rebuildOverlay) CaptureSnapshot() *Snapshot {
+	var s *Snapshot
+	if snapper, ok := o.cur.(Snapshotter); ok {
+		s = snapper.CaptureSnapshot()
+	} else {
+		s = NewSnapshot(o.cur)
+		s.src = o.cur
+	}
+	s.kind = o.Kind()
+	return s
+}
 
 // Join implements Dynamic by rebuilding at population N+1.
 func (o *rebuildOverlay) Join(ctx context.Context) error {

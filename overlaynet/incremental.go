@@ -224,9 +224,15 @@ func (o *incrementalOverlay) markDirty(u int32) {
 // compact events.
 func (o *incrementalOverlay) afterEvent() {
 	o.events++
-	if o.events%o.compact != 0 {
-		return
+	if o.events%o.compact == 0 {
+		o.compactNow()
 	}
+}
+
+// compactNow folds the delta rows into a fresh base CSR and clears the
+// delta overlay. The previous CSR is never mutated — snapshots holding
+// it stay valid.
+func (o *incrementalOverlay) compactNow() {
 	n := len(o.keys)
 	offsets := make([]int32, n+1)
 	size := 0
@@ -240,6 +246,29 @@ func (o *incrementalOverlay) afterEvent() {
 	}
 	o.csr = graph.NewCSR(offsets, targets)
 	clear(o.delta)
+}
+
+// Topology returns the key-space geometry the overlay routes under.
+func (o *incrementalOverlay) Topology() keyspace.Topology { return o.topo }
+
+// CaptureSnapshot implements Snapshotter: fold any pending delta rows
+// into the base CSR, then share that CSR with the snapshot (it is
+// immutable; future compactions replace the pointer rather than the
+// array). Only the identifier array and the rank index are copied, so a
+// capture at the compaction boundary — where Publisher's default epoch
+// cadence lands — costs O(N), not O(N+M).
+func (o *incrementalOverlay) CaptureSnapshot() *Snapshot {
+	if len(o.delta) > 0 {
+		o.compactNow()
+	}
+	return &Snapshot{
+		kind:  o.kind,
+		topo:  o.topo,
+		keys:  append([]keyspace.Key(nil), o.keys...),
+		csr:   o.csr,
+		byKey: append(keyspace.Points(nil), o.byKey...),
+		order: append([]int32(nil), o.order...),
+	}
 }
 
 // Join implements Dynamic: draw one identifier, splice the newcomer

@@ -1,0 +1,201 @@
+package overlaynet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smallworld/keyspace"
+)
+
+// Publisher serves an overlay while it churns: it wraps any Dynamic
+// overlay and publishes immutable Snapshots through an atomic pointer —
+// the RCU (read-copy-update) discipline. Readers load the current
+// snapshot with one atomic pointer read and route against it lock-free
+// for as long as they like; membership events apply on the writer side
+// under a mutex and republish at every epoch boundary. No reader ever
+// blocks a writer, no writer ever tears a reader's view, and a reader
+// pinned to an old epoch simply serves a slightly stale — but
+// internally consistent — picture of the overlay.
+//
+//	pub, _ := overlaynet.NewPublisher(dyn)
+//	// any number of goroutines:
+//	snap := pub.Snapshot()
+//	router := snap.NewRouter()
+//	res := router.Route(src, target)
+//	// one writer (or several; the Publisher serialises them):
+//	pub.Join(ctx)
+//
+// The epoch boundary defaults to every 64 membership events, matching
+// NewIncremental's delta compaction: right after the incremental
+// overlay folds its deltas into a fresh base CSR, capturing a snapshot
+// is one keys/rank-index copy plus a shared pointer to that CSR.
+// Between boundaries readers route against the previous epoch — the
+// staleness any deployed overlay accepts in exchange for an
+// uncontended read path. PublishEvery(1) trades that for per-event
+// capture cost; Publish forces a boundary on demand.
+//
+// The Publisher itself implements Overlay by delegating every read to
+// the current snapshot (so it drops into QueryRunner and the registry
+// tooling), and Dynamic by delegating membership to the wrapped
+// overlay. Mutator arguments refer to the wrapped overlay's LIVE
+// state, which runs ahead of the published read surface by up to
+// PublishEvery-1 events: Leave's node index must be drawn against
+// LiveN, never against N()/Keys(). In particular, do NOT hand a
+// Publisher to a driver that derives leave victims from the Overlay
+// read surface — sim.Run does exactly that — or indices computed from
+// a stale epoch will miss (error) or name the wrong live node. Drive
+// the wrapped overlay directly and serve through the Publisher
+// (sim.Serve's writer does), or churn through Join/Leave with indices
+// from LiveN.
+type Publisher struct {
+	mu      sync.Mutex // serialises writers: Join, Leave, Publish
+	dyn     Dynamic
+	every   int
+	pending int
+	epoch   uint64
+
+	cur atomic.Pointer[Snapshot]
+}
+
+// PublisherOption configures a Publisher.
+type PublisherOption func(*Publisher)
+
+// PublishEvery sets the epoch boundary: a new snapshot is published
+// after every k membership events (default 64, the incremental
+// overlay's compaction interval). k = 1 publishes on every event.
+func PublishEvery(k int) PublisherOption {
+	return func(p *Publisher) {
+		if k > 0 {
+			p.every = k
+		}
+	}
+}
+
+// NewPublisher wraps dyn and publishes its first snapshot (epoch 1).
+func NewPublisher(dyn Dynamic, opts ...PublisherOption) (*Publisher, error) {
+	if dyn == nil {
+		return nil, fmt.Errorf("overlaynet: nil dynamic overlay")
+	}
+	p := &Publisher{dyn: dyn, every: defaultCompactEvery}
+	for _, opt := range opts {
+		opt(p)
+	}
+	p.mu.Lock()
+	p.publishLocked()
+	p.mu.Unlock()
+	return p, nil
+}
+
+// Snapshot returns the current epoch's snapshot: one atomic load, safe
+// from any goroutine, never nil.
+func (p *Publisher) Snapshot() *Snapshot { return p.cur.Load() }
+
+// Epoch returns the current publication epoch.
+func (p *Publisher) Epoch() uint64 { return p.Snapshot().epoch }
+
+// Publish forces an epoch boundary: the wrapped overlay's current state
+// is captured and published regardless of how many events are pending.
+// It returns the new snapshot.
+func (p *Publisher) Publish() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.publishLocked()
+	return p.cur.Load()
+}
+
+// publishLocked captures and atomically swaps in a fresh snapshot.
+// Callers hold p.mu.
+func (p *Publisher) publishLocked() {
+	p.epoch++
+	s := NewSnapshot(p.dyn)
+	s.epoch = p.epoch
+	p.cur.Store(s)
+	p.pending = 0
+}
+
+// afterEventLocked advances the event counter and publishes at the
+// epoch boundary. Callers hold p.mu.
+func (p *Publisher) afterEventLocked() {
+	p.pending++
+	if p.pending >= p.every {
+		p.publishLocked()
+	}
+}
+
+// LiveN returns the wrapped overlay's current population — ahead of
+// Snapshot().N() by up to the unpublished pending events. Leave indices
+// must be drawn against this value.
+func (p *Publisher) LiveN() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dyn.N()
+}
+
+// Join implements Dynamic: one membership event on the wrapped overlay,
+// then an epoch publication if the boundary was reached.
+func (p *Publisher) Join(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.dyn.Join(ctx); err != nil {
+		return err
+	}
+	p.afterEventLocked()
+	return nil
+}
+
+// Leave implements Dynamic. The index u refers to the wrapped overlay's
+// live state (see LiveN), not to a snapshot.
+func (p *Publisher) Leave(ctx context.Context, u int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.dyn.Leave(ctx, u); err != nil {
+		return err
+	}
+	p.afterEventLocked()
+	return nil
+}
+
+// The Overlay read surface delegates to the current snapshot, so a
+// Publisher can stand anywhere an Overlay can — every read is
+// internally consistent with the epoch it loaded, though two
+// consecutive calls may observe different epochs. Batch consumers that
+// need one consistent view across many calls should pin a Snapshot
+// (QueryRunner does this per batch automatically).
+
+// Kind implements Overlay.
+func (p *Publisher) Kind() string { return "publisher:" + p.Snapshot().kind }
+
+// N implements Overlay: the published population.
+func (p *Publisher) N() int { return p.Snapshot().N() }
+
+// Key implements Overlay against the current snapshot.
+func (p *Publisher) Key(u int) keyspace.Key { return p.Snapshot().Key(u) }
+
+// Keys implements Overlay against the current snapshot.
+func (p *Publisher) Keys() []keyspace.Key { return p.Snapshot().Keys() }
+
+// Neighbors implements Overlay against the current snapshot.
+func (p *Publisher) Neighbors(u int) []int32 { return p.Snapshot().Neighbors(u) }
+
+// Stats implements Overlay against the current snapshot.
+func (p *Publisher) Stats() Stats { return p.Snapshot().Stats() }
+
+// NewRouter returns a router that re-pins itself to the latest epoch on
+// every Route call (one atomic load per query, zero allocations).
+// Loops that prefer batch-consistent routing should pin explicitly:
+// pub.Snapshot().NewRouter() and Rebind at their own boundary.
+func (p *Publisher) NewRouter() Router {
+	return &publishedRouter{p: p}
+}
+
+type publishedRouter struct {
+	p *Publisher
+	r SnapshotRouter
+}
+
+func (r *publishedRouter) Route(src int, target keyspace.Key) Result {
+	r.r.Rebind(r.p.Snapshot())
+	return r.r.Route(src, target)
+}

@@ -59,14 +59,29 @@ func FailHops(h float64) Option {
 // the check never shows up in a profile.
 const cancelCheckEvery = 64
 
+// SnapshotSource is anything that can hand out the latest immutable
+// snapshot of an overlay — a *Publisher in practice. A QueryRunner
+// whose overlay implements it switches into serving mode.
+type SnapshotSource interface {
+	Snapshot() *Snapshot
+}
+
 // QueryRunner routes query batches over one overlay with bounded
 // parallelism and cooperative cancellation. It amortises all scratch
 // state — one Router per worker plus the result buffers — across Run
 // calls, so the steady state allocates nothing per query (and, with
 // Workers(1), nothing per batch either). A QueryRunner is not safe for
 // concurrent use; create one per experiment loop.
+//
+// Serving mode: when the overlay implements SnapshotSource (a
+// Publisher does), each Run pins ONE snapshot for the whole batch and
+// rebinds every worker's SnapshotRouter to it — all queries of a batch
+// observe the same epoch, routing stays lock-free against live churn,
+// and the rebind is a pointer assignment, so the steady state remains
+// allocation-free per query.
 type QueryRunner struct {
 	ov       Overlay
+	src      SnapshotSource // non-nil switches Run into serving mode
 	workers  int
 	failHops float64
 
@@ -77,9 +92,13 @@ type QueryRunner struct {
 }
 
 // NewQueryRunner returns a runner over ov with the given options
-// applied.
+// applied. Overlays that implement SnapshotSource are served in
+// batch-pinned snapshot mode (see QueryRunner).
 func NewQueryRunner(ov Overlay, opts ...Option) *QueryRunner {
 	qr := &QueryRunner{ov: ov, workers: runtime.GOMAXPROCS(0), failHops: math.NaN()}
+	if src, ok := ov.(SnapshotSource); ok {
+		qr.src = src
+	}
 	for _, opt := range opts {
 		opt(qr)
 	}
@@ -105,6 +124,18 @@ func (qr *QueryRunner) Run(ctx context.Context, qs []Query) (Batch, error) {
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	if qr.src != nil {
+		// Serving mode: pin one snapshot for the whole batch and rebind
+		// every worker router to it (a pointer assignment — no
+		// allocation, no lock on the read path).
+		snap := qr.src.Snapshot()
+		for len(qr.routers) < workers {
+			qr.routers = append(qr.routers, snap.NewRouter())
+		}
+		for w := 0; w < workers; w++ {
+			qr.routers[w].(*SnapshotRouter).Rebind(snap)
+		}
 	}
 	for len(qr.routers) < workers {
 		qr.routers = append(qr.routers, qr.ov.NewRouter())

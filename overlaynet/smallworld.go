@@ -89,12 +89,15 @@ func WrapNetwork(nw *smallworld.Network) Overlay {
 	return &swOverlay{kind: kind, nw: nw}
 }
 
-func (o *swOverlay) Kind() string            { return o.kind }
-func (o *swOverlay) N() int                  { return o.nw.N() }
-func (o *swOverlay) Key(u int) keyspace.Key  { return o.nw.Key(u) }
-func (o *swOverlay) Keys() []keyspace.Key    { return o.nw.Keys() }
-func (o *swOverlay) Neighbors(u int) []int32 { return o.nw.CSR().Out(u) }
-func (o *swOverlay) Stats() Stats            { return statsOf(o) }
+func (o *swOverlay) Kind() string { return o.kind }
+
+// Topology returns the key-space geometry the network was built with.
+func (o *swOverlay) Topology() keyspace.Topology { return o.nw.Config().Topology }
+func (o *swOverlay) N() int                      { return o.nw.N() }
+func (o *swOverlay) Key(u int) keyspace.Key      { return o.nw.Key(u) }
+func (o *swOverlay) Keys() []keyspace.Key        { return o.nw.Keys() }
+func (o *swOverlay) Neighbors(u int) []int32     { return o.nw.CSR().Out(u) }
+func (o *swOverlay) Stats() Stats                { return statsOf(o) }
 
 // Network exposes the underlying small-world network for callers that
 // need its richer analysis surface (partition histograms, range

@@ -1,0 +1,273 @@
+package overlaynet
+
+import (
+	"math"
+	"sort"
+
+	"smallworld/graph"
+	"smallworld/keyspace"
+)
+
+// Snapshot is an immutable, routable picture of an overlay at one
+// publication epoch: the full CSR adjacency, the identifier array, and
+// the sorted rank index. Everything a query needs is frozen inside the
+// value, so any number of goroutines may route against the same
+// Snapshot concurrently — and against *different* Snapshots of the same
+// overlay — without synchronisation. Snapshots are produced by a
+// Publisher (or directly by NewSnapshot) and are never mutated after
+// publication; that invariant, not locking, is what makes the serving
+// read path safe under churn.
+type Snapshot struct {
+	kind  string
+	epoch uint64
+	topo  keyspace.Topology
+	keys  []keyspace.Key  // identifier per slot
+	csr   *graph.CSR      // full out-adjacency at capture time
+	byKey keyspace.Points // identifiers in ascending key order
+	order []int32         // order[i] = slot holding byKey[i]
+
+	// src, when non-nil, is a retained *immutable* overlay whose own
+	// routing semantics the snapshot delegates to. Distance-greedy
+	// routing over the captured CSR is exact for the small-world family
+	// (bidirectional rings), but overlays with directional routing
+	// rules — Chord's clockwise fingers, Pastry's digit correction —
+	// would strand most queries under it; their rebuild generations are
+	// never mutated after construction, so the snapshot keeps the
+	// generation itself and routes through its NewRouter.
+	src Overlay
+}
+
+// Snapshotter is implemented by Dynamic overlays that can emit an
+// immutable snapshot of their current state more cheaply than the
+// generic row-by-row capture (the incremental overlay shares its
+// compacted base CSR). CaptureSnapshot must only be called from the
+// writer side — concurrent membership mutation during capture is the
+// caller's race, not the Snapshot's.
+type Snapshotter interface {
+	CaptureSnapshot() *Snapshot
+}
+
+// topologyHaver is implemented by overlays that know their key-space
+// geometry; overlays without it are treated as ring-native, which every
+// DHT adapter in the registry is.
+type topologyHaver interface {
+	Topology() keyspace.Topology
+}
+
+// NewSnapshot captures ov's current state as an immutable Snapshot. If
+// ov implements Snapshotter the overlay's own (cheaper) capture is
+// used; otherwise keys and adjacency are copied row by row and the rank
+// index is rebuilt, O(N log N + M). The caller must guarantee ov is not
+// mutated during the capture (hold the writer lock; Publisher does).
+func NewSnapshot(ov Overlay) *Snapshot {
+	if s, ok := ov.(Snapshotter); ok {
+		return s.CaptureSnapshot()
+	}
+	n := ov.N()
+	topo := keyspace.Ring
+	if th, ok := ov.(topologyHaver); ok {
+		topo = th.Topology()
+	}
+	s := &Snapshot{
+		kind: ov.Kind(),
+		topo: topo,
+		keys: append([]keyspace.Key(nil), ov.Keys()...),
+	}
+	offsets := make([]int32, n+1)
+	size := 0
+	for u := 0; u < n; u++ {
+		size += len(ov.Neighbors(u))
+	}
+	targets := make([]int32, 0, size)
+	for u := 0; u < n; u++ {
+		targets = append(targets, ov.Neighbors(u)...)
+		offsets[u+1] = int32(len(targets))
+	}
+	s.csr = graph.NewCSR(offsets, targets)
+	s.buildRankIndex()
+	return s
+}
+
+// buildRankIndex derives byKey/order from s.keys.
+func (s *Snapshot) buildRankIndex() {
+	n := len(s.keys)
+	s.order = make([]int32, n)
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	sort.SliceStable(s.order, func(i, j int) bool {
+		return s.keys[s.order[i]] < s.keys[s.order[j]]
+	})
+	s.byKey = make(keyspace.Points, n)
+	for i, id := range s.order {
+		s.byKey[i] = s.keys[id]
+	}
+}
+
+// Kind returns the wrapped overlay's kind.
+func (s *Snapshot) Kind() string { return s.kind }
+
+// Epoch returns the publication epoch, starting at 1 for the snapshot a
+// Publisher takes at construction. Snapshots captured directly through
+// NewSnapshot carry epoch 0.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Topology returns the key-space geometry the snapshot routes under.
+func (s *Snapshot) Topology() keyspace.Topology { return s.topo }
+
+// N returns the number of nodes frozen in the snapshot.
+func (s *Snapshot) N() int { return len(s.keys) }
+
+// Key returns node u's identifier.
+func (s *Snapshot) Key(u int) keyspace.Key { return s.keys[u] }
+
+// Keys returns all identifiers, indexed by node. Read-only.
+func (s *Snapshot) Keys() []keyspace.Key { return s.keys }
+
+// Neighbors returns u's frozen out-row. Read-only, never allocates.
+func (s *Snapshot) Neighbors(u int) []int32 { return s.csr.Out(u) }
+
+// Stats summarises the frozen adjacency.
+func (s *Snapshot) Stats() Stats { return statsOf(s) }
+
+// CSR exposes the frozen adjacency for analysis callers. Read-only.
+func (s *Snapshot) CSR() *graph.CSR { return s.csr }
+
+// Responsible returns the slot whose identifier is nearest to target
+// under the snapshot's topology — the node a correctly terminating
+// greedy route ends at.
+func (s *Snapshot) Responsible(target keyspace.Key) int {
+	i := s.byKey.Nearest(s.topo, target)
+	if i < 0 {
+		return -1
+	}
+	return int(s.order[i])
+}
+
+// NewRouter returns routing scratch pinned to this snapshot. The
+// returned router is a *SnapshotRouter; Rebind moves it to a newer
+// epoch without allocating, which is how serving loops follow a
+// Publisher while staying allocation-free.
+func (s *Snapshot) NewRouter() Router { return &SnapshotRouter{s: s} }
+
+// SnapshotRouter routes greedily against one pinned Snapshot. It holds
+// no per-route scratch, so Route performs zero heap allocations; it is
+// still not safe for concurrent use (hold one per goroutine), but any
+// number of routers may share one Snapshot. For snapshots that delegate
+// to a retained source overlay (see Snapshot.src) the inner router is
+// built lazily once per pinned snapshot — allocation-free within an
+// epoch.
+type SnapshotRouter struct {
+	s       *Snapshot
+	inner   Router    // delegated router, for snapshots with a src
+	innerOf *Snapshot // snapshot the inner router was built for
+}
+
+// Rebind pins the router to a (newer) snapshot. Allocation-free (for
+// delegating snapshots, until the first Route on the new epoch).
+func (r *SnapshotRouter) Rebind(s *Snapshot) { r.s = s }
+
+// Pinned returns the snapshot the router currently routes against.
+func (r *SnapshotRouter) Pinned() *Snapshot { return r.s }
+
+// Route implements Router with the same greedy rule as the static
+// small-world router: forward to the out-neighbour closest to the
+// target (exact-tie arc-advance tie-break), stop when no neighbour
+// improves. A source outside the snapshot's population — possible when
+// the query was drawn against a different epoch — fails cleanly with
+// Arrived false rather than routing from an arbitrary slot.
+func (r *SnapshotRouter) Route(src int, target keyspace.Key) Result {
+	s := r.s
+	if src < 0 || src >= len(s.keys) {
+		return Result{Dest: -1}
+	}
+	if s.src != nil {
+		if r.innerOf != s {
+			r.inner = s.src.NewRouter()
+			r.innerOf = s
+		}
+		return r.inner.Route(src, target)
+	}
+	if s.topo == keyspace.Ring {
+		return r.routeRing(src, target)
+	}
+	return r.routeLine(src, target)
+}
+
+func (r *SnapshotRouter) routeRing(src int, target keyspace.Key) Result {
+	s := r.s
+	keys, csr := s.keys, s.csr
+	tf := float64(target)
+	cur := src
+	dCur := float64(keys[cur]) - tf
+	if dCur < 0 {
+		dCur = -dCur
+	}
+	if dCur > 0.5 {
+		dCur = 1 - dCur
+	}
+	guard := 2 * len(keys)
+	hops := 0
+	for ; hops < guard; hops++ {
+		best, bestD := -1, dCur
+		bestKey := keys[cur]
+		for _, v := range csr.Out(cur) {
+			vKey := keys[v]
+			d := float64(vKey) - tf
+			if d < 0 {
+				d = -d
+			}
+			if d > 0.5 {
+				d = 1 - d
+			}
+			if d < bestD || (d == bestD && keyspace.Ring.Advances(bestKey, vKey, target)) {
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+	}
+	return Result{Hops: hops, Dest: cur, Arrived: r.arrived(dCur, target)}
+}
+
+func (r *SnapshotRouter) routeLine(src int, target keyspace.Key) Result {
+	s := r.s
+	keys, csr := s.keys, s.csr
+	tf := float64(target)
+	cur := src
+	dCur := math.Abs(float64(keys[cur]) - tf)
+	guard := 2 * len(keys)
+	hops := 0
+	for ; hops < guard; hops++ {
+		best, bestD := -1, dCur
+		bestKey := keys[cur]
+		for _, v := range csr.Out(cur) {
+			vKey := keys[v]
+			d := float64(vKey) - tf
+			if d < 0 {
+				d = -d
+			}
+			if d < bestD || (d == bestD && keyspace.Line.Advances(bestKey, vKey, target)) {
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+	}
+	return Result{Hops: hops, Dest: cur, Arrived: r.arrived(dCur, target)}
+}
+
+// arrived reports whether a route that stopped at distance d reached a
+// minimal-distance node for the target.
+func (r *SnapshotRouter) arrived(d float64, target keyspace.Key) bool {
+	s := r.s
+	nearest := s.byKey.Nearest(s.topo, target)
+	if nearest < 0 {
+		return false
+	}
+	return d <= s.topo.Distance(s.byKey[nearest], target)
+}

@@ -15,12 +15,19 @@ func (nw *Network) Partitions() int {
 // partition index in [1, L]; distances below 2^-L fall into partition 1,
 // distances at or above the space diameter into partition L. It returns 0
 // for non-positive m (a node is in no partition relative to itself).
+//
+// The classification uses Frexp, which decomposes m = f·2^e with
+// f ∈ [0.5, 1) exactly, so the defining inequality 2^(j-1-L) <= m <
+// 2^(j-L) holds bit-exactly at every dyadic boundary — Log2 rounds
+// values within one ulp of a boundary onto it and misclassified them by
+// one partition.
 func (nw *Network) PartitionOf(m float64) int {
 	if m <= 0 {
 		return 0
 	}
 	l := nw.Partitions()
-	j := int(math.Floor(math.Log2(m))) + l + 1
+	_, e := math.Frexp(m)
+	j := e + l
 	if j < 1 {
 		j = 1
 	}

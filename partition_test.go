@@ -130,6 +130,74 @@ func TestPartitionTraceEmptyRoute(t *testing.T) {
 	}
 }
 
+func TestPartitionOfBoundaryValues(t *testing.T) {
+	// m exactly 2^(j-L) is the *exclusive* upper edge of partition j:
+	// the defining inequality 2^(j-1-L) <= m < 2^(j-L) puts it in j+1
+	// (clamped at L). Pin every edge, plus m = MaxDistance on both
+	// topologies.
+	cfg := UniformConfig(1024, 71) // L = 10
+	nw := mustBuild(t, cfg)
+	l := nw.Partitions()
+	for j := 1; j < l; j++ {
+		upper := math.Pow(2, float64(j-l))
+		if got := nw.PartitionOf(upper); got != j+1 {
+			t.Errorf("PartitionOf(2^%d) = %d, want %d (exclusive upper edge)", j-l, got, j+1)
+		}
+		below := math.Nextafter(upper, 0)
+		if got := nw.PartitionOf(below); got != j {
+			t.Errorf("PartitionOf(just below 2^%d) = %d, want %d", j-l, got, j)
+		}
+	}
+	// m = MaxDistance: the line's diameter 1 clamps into the top
+	// partition; the ring's diameter 0.5 falls into it exactly.
+	if got := nw.PartitionOf(keyspace.Line.MaxDistance()); got != l {
+		t.Errorf("PartitionOf(line diameter) = %d, want %d", got, l)
+	}
+	ringCfg := UniformConfig(1024, 72)
+	ringCfg.Topology = keyspace.Ring
+	ringNw := mustBuild(t, ringCfg)
+	if got := ringNw.PartitionOf(keyspace.Ring.MaxDistance()); got != ringNw.Partitions() {
+		t.Errorf("PartitionOf(ring diameter) = %d, want %d", got, ringNw.Partitions())
+	}
+	// Above the diameter still clamps (defensive: callers pass raw
+	// measures).
+	if got := nw.PartitionOf(1.5); got != l {
+		t.Errorf("PartitionOf(1.5) = %d, want clamp to %d", got, l)
+	}
+}
+
+func TestPartitionOfNonPowerOfTwoN(t *testing.T) {
+	// L = ceil(log2 N) rounds up between powers of two; the partition
+	// classification must stay consistent with its own L on both sides
+	// of the boundary.
+	for _, c := range []struct{ n, wantL int }{
+		{1000, 10}, {1024, 10}, {1025, 11}, {3000, 12},
+	} {
+		cfg := UniformConfig(c.n, 73)
+		nw := mustBuild(t, cfg)
+		if nw.Partitions() != c.wantL {
+			t.Fatalf("N=%d: Partitions = %d, want %d", c.n, nw.Partitions(), c.wantL)
+		}
+		l := nw.Partitions()
+		for j := 1; j <= l; j++ {
+			lower := math.Pow(2, float64(j-1-l))
+			if got := nw.PartitionOf(lower); got != j {
+				t.Errorf("N=%d: PartitionOf(2^%d) = %d, want %d", c.n, j-1-l, got, j)
+			}
+		}
+		// Every long link lands in a valid partition and the per-node
+		// counts stay within bounds.
+		for u := 0; u < nw.N(); u += 97 {
+			for _, v := range nw.LongRange(u) {
+				j := nw.PartitionOf(nw.NormalizedMass(u, int(v)))
+				if j < 0 || j > l {
+					t.Fatalf("N=%d: link %d->%d classified into partition %d of %d", c.n, u, v, j, l)
+				}
+			}
+		}
+	}
+}
+
 func TestPartitionBoundaryMath(t *testing.T) {
 	// PartitionOf must be consistent with its defining inequality
 	// 2^(j-1-L) <= m < 2^(j-L) for interior partitions.

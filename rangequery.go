@@ -1,8 +1,6 @@
 package smallworld
 
 import (
-	"math"
-
 	"smallworld/keyspace"
 )
 
@@ -16,11 +14,23 @@ import (
 // Cell returns node u's responsibility region: the set of keys closer to
 // u than to any other node, i.e. the Voronoi cell between the midpoints
 // toward its neighbours. On the line the first and last cells extend to
-// the ends of the key space.
+// the ends of the key space; the last cell's Hi is exactly 1, which
+// covers the top end inclusively (every valid Key is < 1) without
+// leaking a value > 1 into Interval.Length or coverage arithmetic.
+//
+// Degenerate spacings are well defined rather than accidental: when two
+// neighbouring identifiers coincide (or sit within one float64 ulp, so
+// the midpoint rounds onto a key), the half-open boundaries make the
+// upper of the two own the shared point and the lower cell zero-width —
+// cells always tile the key space exactly once, and exactly one node is
+// responsible for any key. A sole node (n = 1) owns the whole space.
 func (nw *Network) Cell(u int) keyspace.Interval {
 	n := nw.cfg.N
 	var lo, hi keyspace.Key
 	if nw.cfg.Topology == keyspace.Ring {
+		if n == 1 {
+			return keyspace.Interval{Lo: 0, Hi: 1}
+		}
 		prev := nw.keys[(u+n-1)%n]
 		next := nw.keys[(u+1)%n]
 		lo = midpointOnRing(prev, nw.keys[u])
@@ -33,7 +43,7 @@ func (nw *Network) Cell(u int) keyspace.Interval {
 		lo = keyspace.Key((float64(nw.keys[u-1]) + float64(nw.keys[u])) / 2)
 	}
 	if u == n-1 {
-		hi = keyspace.Key(math.Nextafter(1, 2)) // cover the top end inclusively
+		hi = 1 // top end inclusive: every valid key is < 1
 	} else {
 		hi = keyspace.Key((float64(nw.keys[u]) + float64(nw.keys[u+1])) / 2)
 	}
@@ -41,8 +51,13 @@ func (nw *Network) Cell(u int) keyspace.Interval {
 }
 
 // midpointOnRing returns the midpoint of the clockwise arc from a to b.
+// An arc of zero (duplicate identifiers) yields a itself — the
+// zero-width-cell convention Cell documents.
 func midpointOnRing(a, b keyspace.Key) keyspace.Key {
 	arc := float64(keyspace.Wrap(float64(b) - float64(a)))
+	if arc == 0 {
+		return a
+	}
 	return keyspace.Wrap(float64(a) + arc/2)
 }
 
@@ -70,19 +85,17 @@ func (nw *Network) RangeLookup(src int, iv keyspace.Interval) RangeResult {
 		return res
 	}
 	n := nw.cfg.N
-	cur := res.Locate.Path[len(res.Locate.Path)-1]
-	// The greedy terminal is the node closest to iv.Lo; the responsible
-	// node for iv.Lo is the one whose cell contains it, at most one
-	// neighbour step away.
-	for i := 0; i < 2 && !nw.Cell(cur).Contains(iv.Lo); i++ {
-		if nw.Cell(prevIndex(cur, n, nw.cfg.Topology)).Contains(iv.Lo) {
-			cur = prevIndex(cur, n, nw.cfg.Topology)
-			res.WalkHops++
-		} else if nw.Cell(nextIndex(cur, n, nw.cfg.Topology)).Contains(iv.Lo) {
-			cur = nextIndex(cur, n, nw.cfg.Topology)
-			res.WalkHops++
-		}
-	}
+	// The greedy terminal is the node closest to iv.Lo; the node
+	// *responsible* for iv.Lo is the one whose half-open cell contains
+	// it. With intact neighbouring edges and exact-Voronoi cells those
+	// are one step apart at most, but degenerate spacings (midpoints
+	// rounding onto keys in heavily skewed populations) and degraded
+	// locate terminals can leave the terminal several cells away — so
+	// walk key order toward iv.Lo until the cell actually contains it,
+	// bounded by n (cells tile the space, so the walk always finds the
+	// owner). Each correction step is one overlay hop.
+	cur, corrHops := nw.locateResponsible(res.Locate.Path[len(res.Locate.Path)-1], iv.Lo)
+	res.WalkHops += corrHops
 	// Walk successors until the covered arc from iv.Lo reaches the
 	// interval length. Tracking covered length (not "does this cell
 	// contain iv.Hi") is what makes wrapping intervals work: for a
@@ -109,6 +122,45 @@ func (nw *Network) RangeLookup(src int, iv keyspace.Interval) RangeResult {
 		res.WalkHops++
 	}
 	return res
+}
+
+// locateResponsible walks key order from the node start toward lo
+// until it reaches the node whose cell contains lo, and returns that
+// node plus the number of steps taken. The walk is bounded by n: cells
+// tile the key space exactly once (see Cell), so visiting every cell
+// must find the owner, whatever node the locate phase terminated at.
+func (nw *Network) locateResponsible(start int, lo keyspace.Key) (owner, steps int) {
+	n := nw.cfg.N
+	cur := start
+	for ; steps < n && !nw.Cell(cur).Contains(lo); steps++ {
+		next := nw.stepToward(cur, lo)
+		if next == cur {
+			break // line end; the end cell is closed over its boundary
+		}
+		cur = next
+	}
+	return cur, steps
+}
+
+// stepToward returns cur's key-order neighbour on the side of k: the
+// shorter arc on the ring, plain order on the line. A tie (k equal to
+// cur's identifier, reachable when cur's own cell is zero-width) steps
+// up, matching the half-open cells' upper-side ownership of shared
+// points.
+func (nw *Network) stepToward(cur int, k keyspace.Key) int {
+	n := nw.cfg.N
+	topo := nw.cfg.Topology
+	if topo == keyspace.Ring {
+		arc := float64(keyspace.Wrap(float64(k) - float64(nw.keys[cur])))
+		if arc == 0 || arc <= 0.5 {
+			return nextIndex(cur, n, topo)
+		}
+		return prevIndex(cur, n, topo)
+	}
+	if k >= nw.keys[cur] {
+		return nextIndex(cur, n, topo)
+	}
+	return prevIndex(cur, n, topo)
 }
 
 func nextIndex(u, n int, topo keyspace.Topology) int {

@@ -131,6 +131,212 @@ func TestRangeLookupWholeSpace(t *testing.T) {
 	}
 }
 
+// ulpChain returns count keys starting at x, each one float64 ulp above
+// the previous — the identifier spacing a heavily skewed population
+// produces when the density concentrates more peers into a region than
+// the float resolution can separate (placeKeys nudges collisions apart
+// by exactly one ulp).
+func ulpChain(x float64, count int) []keyspace.Key {
+	ks := make([]keyspace.Key, count)
+	for i := range ks {
+		ks[i] = keyspace.Key(x)
+		x = math.Nextafter(x, 2)
+	}
+	return ks
+}
+
+// skewedClusterNetwork builds a network whose identifiers form
+// ulp-dense clusters (around 0.5 and just below the ring wrap) plus a
+// few isolated peers — the degenerate-spacing regime where cell
+// midpoints round onto keys and zero-width cells appear.
+func skewedClusterNetwork(t *testing.T, topo keyspace.Topology) *Network {
+	t.Helper()
+	keys := ulpChain(0.5, 9)
+	keys = append(keys, ulpChain(math.Nextafter(math.Nextafter(1, 0), 0), 2)...)
+	keys = append(keys, 0.05, 0.2, 0.8)
+	cfg := UniformConfig(len(keys), 101)
+	cfg.Topology = topo
+	cfg.Keys = keys
+	return mustBuild(t, cfg)
+}
+
+// TestLocateWalkFromAnyTerminal is the regression for the old
+// locate-correction loop, which gave up after two fixed neighbour
+// probes and could return a non-responsible node whenever the locate
+// terminal was more than one cell from the owner. The walk must now
+// reach the responsible node from EVERY possible starting node — in
+// particular from terminals arbitrarily far away — on clustered
+// ulp-spaced identifiers where several consecutive cells are degenerate.
+func TestLocateWalkFromAnyTerminal(t *testing.T) {
+	for _, topo := range []keyspace.Topology{keyspace.Ring, keyspace.Line} {
+		nw := skewedClusterNetwork(t, topo)
+		n := nw.N()
+		var targets []keyspace.Key
+		for u := 0; u < n; u++ {
+			k := float64(nw.Key(u))
+			targets = append(targets, nw.Key(u),
+				keyspace.Key(math.Nextafter(k, 0)), keyspace.Key(math.Nextafter(k, 2)))
+		}
+		targets = append(targets, 0, keyspace.Key(math.Nextafter(1, 0)), 0.5)
+		for _, lo := range targets {
+			if !lo.Valid() {
+				continue
+			}
+			want := -1
+			for u := 0; u < n; u++ {
+				if nw.Cell(u).Contains(lo) {
+					want = u
+					break
+				}
+			}
+			if want < 0 {
+				t.Fatalf("%v: no cell contains %v — cells do not tile", topo, lo)
+			}
+			for start := 0; start < n; start++ {
+				owner, steps := nw.locateResponsible(start, lo)
+				if owner != want {
+					t.Fatalf("%v: walk from %d for %.20g reached %d (cell %v), responsible is %d (cell %v)",
+						topo, start, float64(lo), owner, nw.Cell(owner), want, nw.Cell(want))
+				}
+				if steps >= n {
+					t.Fatalf("%v: walk from %d took %d steps at n=%d", topo, start, steps, n)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeLookupResponsibleFirst: on the same degenerate-spacing
+// networks, Nodes[0] must always be the node whose cell contains iv.Lo
+// — never a merely-nearby one — from every source.
+func TestRangeLookupResponsibleFirst(t *testing.T) {
+	nw := skewedClusterNetwork(t, keyspace.Ring)
+	n := nw.N()
+	var los []keyspace.Key
+	for u := 0; u < n; u++ {
+		los = append(los, nw.Key(u), keyspace.Key(math.Nextafter(float64(nw.Key(u)), 0)))
+	}
+	for _, lo := range los {
+		if !lo.Valid() {
+			continue
+		}
+		iv := keyspace.Interval{Lo: lo, Hi: keyspace.Wrap(float64(lo) + 0.01)}
+		for src := 0; src < n; src++ {
+			res := nw.RangeLookup(src, iv)
+			if len(res.Nodes) == 0 {
+				t.Fatalf("no nodes for %v from %d", iv, src)
+			}
+			if !nw.Cell(res.Nodes[0]).Contains(iv.Lo) {
+				t.Fatalf("Nodes[0] = %d (cell %v) does not contain iv.Lo %.20g (src %d)",
+					res.Nodes[0], nw.Cell(res.Nodes[0]), float64(iv.Lo), src)
+			}
+		}
+	}
+}
+
+// TestCellLineTopEnd pins the line topology's top cell: Hi is exactly 1
+// (not math.Nextafter(1, 2), which leaked a Key > 1 into
+// Interval.Length and coverage arithmetic), the top end stays covered
+// inclusively, and cell lengths sum to exactly the unit interval.
+func TestCellLineTopEnd(t *testing.T) {
+	cfg := SkewedConfig(64, dist.NewPower(0.6), 103)
+	cfg.Topology = keyspace.Line
+	nw := mustBuild(t, cfg)
+	top := nw.Cell(nw.N() - 1)
+	if top.Hi != 1 {
+		t.Fatalf("top cell Hi = %.20g, want exactly 1", float64(top.Hi))
+	}
+	if !top.Contains(keyspace.Key(math.Nextafter(1, 0))) {
+		t.Fatal("top cell does not cover the largest valid key")
+	}
+	if top.Length() > 1 {
+		t.Fatalf("top cell length %v exceeds the space", top.Length())
+	}
+	var total float64
+	for u := 0; u < nw.N(); u++ {
+		total += nw.Cell(u).Length()
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("cells cover %.17g of the line, want 1", total)
+	}
+}
+
+// TestCellDegenerateSpacing pins the zero-width-cell convention: with
+// ulp-adjacent identifiers every key is owned by exactly one cell, the
+// cells still tile the space, and midpointOnRing of a zero arc is the
+// point itself (the duplicate-identifier definition).
+func TestCellDegenerateSpacing(t *testing.T) {
+	if got := midpointOnRing(0.25, 0.25); got != 0.25 {
+		t.Fatalf("midpointOnRing(a, a) = %v, want a", got)
+	}
+	for _, topo := range []keyspace.Topology{keyspace.Ring, keyspace.Line} {
+		nw := skewedClusterNetwork(t, topo)
+		var total float64
+		for u := 0; u < nw.N(); u++ {
+			cell := nw.Cell(u)
+			if cell.Length() < 0 || cell.Length() > 1 {
+				t.Fatalf("%v: cell %d has length %v", topo, u, cell.Length())
+			}
+			total += cell.Length()
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("%v: degenerate cells cover %.17g, want 1", topo, total)
+		}
+		for u := 0; u < nw.N(); u++ {
+			owners := 0
+			for v := 0; v < nw.N(); v++ {
+				if nw.Cell(v).Contains(nw.Key(u)) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("%v: key %.20g owned by %d cells, want exactly 1",
+					topo, float64(nw.Key(u)), owners)
+			}
+		}
+	}
+}
+
+// TestRangeLookupWrappingSkewed covers ring range queries whose
+// interval wraps through 1.0 over heavily skewed identifier densities —
+// the combination the paper's data-oriented applications produce (dense
+// key clusters, order-preserving scans across the ring seam). Every
+// in-interval node must be reported exactly once, starting at the
+// responsible node, from any source.
+func TestRangeLookupWrappingSkewed(t *testing.T) {
+	for _, d := range []dist.Distribution{dist.NewPower(0.9), dist.NewTruncExp(8)} {
+		cfg := SkewedConfig(384, d, 105)
+		cfg.Topology = keyspace.Ring
+		nw := mustBuild(t, cfg)
+		r := xrand.New(106)
+		for i := 0; i < 60; i++ {
+			// Force the wrap: Lo in the top arc, Hi in the bottom arc.
+			lo := keyspace.Key(0.9 + 0.1*r.Float64())
+			hi := keyspace.Key(0.1 * r.Float64())
+			iv := keyspace.Interval{Lo: lo, Hi: hi}
+			res := nw.RangeLookup(r.Intn(nw.N()), iv)
+			if len(res.Nodes) == 0 {
+				t.Fatalf("%s: wrapping %v returned no nodes", d.Name(), iv)
+			}
+			if !nw.Cell(res.Nodes[0]).Contains(iv.Lo) {
+				t.Fatalf("%s: Nodes[0] = %d not responsible for %v", d.Name(), res.Nodes[0], iv.Lo)
+			}
+			seen := map[int]bool{}
+			for _, u := range res.Nodes {
+				if seen[u] {
+					t.Fatalf("%s: node %d reported twice for %v", d.Name(), u, iv)
+				}
+				seen[u] = true
+			}
+			for u := 0; u < nw.N(); u++ {
+				if iv.Contains(nw.Key(u)) && !seen[u] {
+					t.Fatalf("%s: node %d (key %v) inside wrapping %v missing", d.Name(), u, nw.Key(u), iv)
+				}
+			}
+		}
+	}
+}
+
 func TestRangeLookupLineTopology(t *testing.T) {
 	cfg := UniformConfig(128, 99)
 	cfg.Topology = keyspace.Line

@@ -1,0 +1,97 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/sim"
+)
+
+// Scenarios that try to drain an overlay to nothing must clamp at the
+// population floor — rejecting events, never panicking or erroring out
+// of the run. MassFailure with Frac 1 and a leave-only Poisson process
+// are the two drain vectors; N starts barely above the floor and
+// MinNodes is set below the representable minimum (the engine clamps it
+// to 2).
+
+func drainDynamic(t *testing.T, kind string, n int) overlaynet.Dynamic {
+	t.Helper()
+	ctx := context.Background()
+	opts := overlaynet.Options{N: n, Seed: 33, Dist: dist.NewPower(0.7), Topology: keyspace.Ring}
+	switch kind {
+	case "incremental":
+		dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dyn
+	case "rebuild":
+		dyn, err := overlaynet.NewRebuild(ctx, "smallworld-skewed", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dyn
+	case "protocol":
+		ov, err := overlaynet.Build(ctx, "protocol", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ov.(overlaynet.Dynamic)
+	}
+	t.Fatalf("unknown kind %q", kind)
+	return nil
+}
+
+func TestScenarioDrainToFloor(t *testing.T) {
+	for _, kind := range []string{"incremental", "rebuild", "protocol"} {
+		for _, n := range []int{3, 8} {
+			for _, arr := range []sim.Arrival{
+				&sim.MassFailure{At: 1, Frac: 1},
+				sim.PoissonChurn{LeaveRate: 50},
+			} {
+				sc := sim.Scenario{
+					Name: "drain", Duration: 10, Window: 5, Seed: 9,
+					MinNodes: 1, // below the representable floor: clamped to 2
+					Arrivals: []sim.Arrival{arr},
+					Load:     sim.Load{Rate: 5},
+				}
+				rep, err := sim.Run(context.Background(), drainDynamic(t, kind, n), sc)
+				if err != nil {
+					t.Fatalf("%s N=%d %s: run failed: %v", kind, n, arr.Name(), err)
+				}
+				if rep.Totals.FinalNodes < 2 {
+					t.Fatalf("%s N=%d %s: drained to %d nodes", kind, n, arr.Name(), rep.Totals.FinalNodes)
+				}
+				if n > 2 && rep.Totals.Leaves == 0 {
+					t.Fatalf("%s N=%d %s: no leaves applied above the floor", kind, n, arr.Name())
+				}
+				if rep.Totals.Rejected == 0 {
+					t.Fatalf("%s N=%d %s: drain load produced no floor rejections", kind, n, arr.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioMinNodesClamp pins the clamp itself: an explicit MinNodes
+// of 1 behaves exactly like MinNodes 2.
+func TestScenarioMinNodesClamp(t *testing.T) {
+	run := func(minNodes int) int {
+		sc := sim.Scenario{
+			Name: "clamp", Duration: 20, Window: 10, Seed: 4,
+			MinNodes: minNodes,
+			Arrivals: []sim.Arrival{sim.PoissonChurn{LeaveRate: 20}},
+		}
+		rep, err := sim.Run(context.Background(), drainDynamic(t, "incremental", 6), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Totals.FinalNodes
+	}
+	if a, b := run(1), run(2); a != b || a != 2 {
+		t.Fatalf("MinNodes 1 drained to %d, MinNodes 2 to %d; both must clamp at 2", a, b)
+	}
+}

@@ -1,0 +1,221 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/sim"
+)
+
+func servePublisher(t *testing.T, n int, opts ...overlaynet.PublisherOption) *overlaynet.Publisher {
+	t.Helper()
+	dyn, err := overlaynet.NewIncremental(context.Background(), "smallworld-skewed", overlaynet.Options{
+		N: n, Seed: 21, Dist: dist.NewPower(0.7), Topology: keyspace.Ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := overlaynet.NewPublisher(dyn, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+// TestServeUnderChurn is the end-to-end serving contract: closed-loop
+// workers route against published snapshots while churn applies, every
+// query arrives, and the report carries coherent totals and series.
+// Under -race this is the package-level proof of the lock-free read
+// path (the CI race gate runs it).
+func TestServeUnderChurn(t *testing.T) {
+	pub := servePublisher(t, 256, overlaynet.PublishEvery(2))
+	rep, err := sim.Serve(context.Background(), pub, sim.ServeConfig{
+		Name:      "test",
+		Workers:   4,
+		Duration:  250 * time.Millisecond,
+		Window:    50 * time.Millisecond,
+		ChurnRate: 1000, // even a race-throttled writer crosses several epochs
+		Seed:      5,
+		PinEvery:  128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Queries == 0 {
+		t.Fatal("no queries served")
+	}
+	if rep.Totals.Failures != 0 {
+		t.Fatalf("%d/%d queries failed on healthy snapshots", rep.Totals.Failures, rep.Totals.Queries)
+	}
+	if rep.Totals.Joins+rep.Totals.Leaves == 0 {
+		t.Fatal("no churn applied")
+	}
+	if rep.Totals.Epochs < 2 {
+		t.Fatalf("epochs = %d, want >= 2 with churn across the boundary", rep.Totals.Epochs)
+	}
+	if rep.HopsMean <= 0 || rep.QPS <= 0 || rep.LatP99Us <= 0 {
+		t.Fatalf("degenerate aggregates: hops %v qps %v latp99 %v", rep.HopsMean, rep.QPS, rep.LatP99Us)
+	}
+	for _, name := range []string{sim.SeriesQPS, sim.SeriesHopsP95, sim.SeriesLatP95Us, sim.SeriesEpoch} {
+		s := rep.Get(name)
+		if s == nil || s.Len() == 0 {
+			t.Fatalf("series %q missing or empty", name)
+		}
+	}
+	// Exporters run on the real report shape.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"lat_p99_us"`) {
+		t.Fatal("JSON missing latency aggregate")
+	}
+	buf.Reset()
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "t,qps,") {
+		t.Fatalf("CSV header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if !strings.Contains(rep.String(), "totals:") {
+		t.Fatal("String() missing totals line")
+	}
+}
+
+// TestServeFrozen covers ChurnRate 0: the population must not move and
+// exactly one epoch serves the whole run.
+func TestServeFrozen(t *testing.T) {
+	pub := servePublisher(t, 128)
+	rep, err := sim.Serve(context.Background(), pub, sim.ServeConfig{
+		Workers: 2, Duration: 60 * time.Millisecond, Window: 20 * time.Millisecond, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Joins+rep.Totals.Leaves != 0 {
+		t.Fatal("frozen run churned")
+	}
+	if rep.Totals.StartNodes != 128 || rep.Totals.FinalNodes != 128 {
+		t.Fatalf("population moved: %d -> %d", rep.Totals.StartNodes, rep.Totals.FinalNodes)
+	}
+	if rep.Totals.Epochs != 1 {
+		t.Fatalf("epochs = %d, want 1", rep.Totals.Epochs)
+	}
+	if rep.Totals.Failures != 0 {
+		t.Fatalf("%d failures on a frozen overlay", rep.Totals.Failures)
+	}
+}
+
+// TestServePopulationGuards pins the drain/overflow clamps: a
+// leave-only load against MinNodes and a join-only load against
+// MaxNodes must reject events rather than error or panic.
+func TestServePopulationGuards(t *testing.T) {
+	pub := servePublisher(t, 16, overlaynet.PublishEvery(1))
+	rep, err := sim.Serve(context.Background(), pub, sim.ServeConfig{
+		Workers: 1, Duration: 80 * time.Millisecond, Window: 40 * time.Millisecond,
+		ChurnRate: 2000, JoinFrac: 1e-9, MinNodes: 12, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Totals.FinalNodes; n < 12 {
+		t.Fatalf("population %d below MinNodes 12", n)
+	}
+	if rep.Totals.Rejected == 0 {
+		t.Fatal("no rejections at the floor")
+	}
+
+	pub = servePublisher(t, 16, overlaynet.PublishEvery(1))
+	rep, err = sim.Serve(context.Background(), pub, sim.ServeConfig{
+		Workers: 1, Duration: 80 * time.Millisecond, Window: 40 * time.Millisecond,
+		ChurnRate: 2000, JoinFrac: 1, MaxNodes: 20, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Totals.FinalNodes; n > 20 {
+		t.Fatalf("population %d above MaxNodes 20", n)
+	}
+}
+
+// TestServeContextCancel: cancellation ends the run early and reports
+// the context error with the partial report intact.
+func TestServeContextCancel(t *testing.T) {
+	pub := servePublisher(t, 64)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	rep, err := sim.Serve(ctx, pub, sim.ServeConfig{
+		Workers: 2, Duration: 10 * time.Second, Window: 10 * time.Millisecond, Seed: 9,
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if rep == nil || rep.Totals.Queries == 0 {
+		t.Fatal("no partial report")
+	}
+	if rep.Seconds > 5 {
+		t.Fatalf("run lasted %.2fs after a 30ms deadline", rep.Seconds)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	pub := servePublisher(t, 16)
+	for _, cfg := range []sim.ServeConfig{
+		{ChurnRate: -1},
+		{ChurnRate: math.Inf(1)},
+		{JoinFrac: 2},
+		{JoinFrac: -0.5},
+		{JoinFrac: math.NaN()},
+	} {
+		if _, err := sim.Serve(context.Background(), pub, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := sim.Serve(context.Background(), nil, sim.ServeConfig{}); err == nil {
+		t.Fatal("nil publisher accepted")
+	}
+}
+
+func TestServePresets(t *testing.T) {
+	names := sim.ServePresetNames()
+	if len(names) == 0 {
+		t.Fatal("no serve presets")
+	}
+	for _, name := range names {
+		cfg, err := sim.ServePreset(name, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Name != name {
+			t.Fatalf("preset %q names itself %q", name, cfg.Name)
+		}
+	}
+	if _, err := sim.ServePreset("steady", 1); err == nil {
+		t.Fatal("preset accepted n=1")
+	}
+	if _, err := sim.ServePreset("no-such", 256); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	// One preset runs end to end (scaled down for test time).
+	cfg, err := sim.ServePreset("steady", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Duration = 50 * time.Millisecond
+	cfg.Window = 25 * time.Millisecond
+	cfg.Workers = 2
+	rep, err := sim.Serve(context.Background(), servePublisher(t, 64), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Queries == 0 {
+		t.Fatal("preset served no queries")
+	}
+}

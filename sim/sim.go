@@ -64,7 +64,10 @@ type Scenario struct {
 	// Load is the concurrent query workload.
 	Load Load
 	// MinNodes rejects departures that would shrink the overlay below
-	// this population. Default 8.
+	// this population. Default 8, clamped to at least 2: no overlay in
+	// the registry can represent fewer than two nodes, so a scenario
+	// asking to drain below that is clamped rather than letting the
+	// overlay fail mid-run.
 	MinNodes int
 	// MaxNodes rejects joins that would grow the overlay above this
 	// population. 0 means unlimited.
@@ -90,6 +93,9 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.MinNodes <= 0 {
 		sc.MinNodes = 8
+	}
+	if sc.MinNodes < 2 {
+		sc.MinNodes = 2
 	}
 	return sc
 }
