@@ -22,6 +22,17 @@
 //	swsim -scenario steady [-topology protocol] [-n 512] [-duration 100] \
 //	      [-window 10] [-sim-seed 1] [-sim-json report.json] [-sim-csv report.csv]
 //
+// Scenario mode can route every query over a hostile message plane
+// (package netmodel): -loss and -faults overlay per-hop loss and
+// crashed nodes on any preset (the lossy/partition-heal/byzantine
+// presets configure their own), -partition cuts the key space mid-run
+// and heals it, and -fault-seed re-rolls fault placement without
+// touching the churn/load trajectory:
+//
+//	swsim -scenario lossy -n 512
+//	swsim -scenario steady -loss 0.05 -faults 0.1 -fault-seed 7
+//	swsim -scenario steady -partition 0.25,0.75
+//
 // Topologies that do not implement Dynamic are wrapped with
 // overlaynet.NewRebuild, so every registered overlay is drivable;
 // -dynamic incremental selects overlaynet.NewIncremental's O(k)
@@ -49,6 +60,7 @@ import (
 	"smallworld/dist"
 	"smallworld/keyspace"
 	"smallworld/metrics"
+	"smallworld/netmodel"
 	"smallworld/overlaynet"
 	"smallworld/sim"
 )
@@ -73,6 +85,10 @@ func main() {
 	dynamic := flag.String("dynamic", "", "churn driver for static topologies: rebuild (default) or incremental (offline small-world constructors only)")
 	duration := flag.Float64("duration", 0, "scenario duration in virtual time (0 = preset default)")
 	window := flag.Float64("window", 0, "scenario metrics window (0 = preset default)")
+	loss := flag.Float64("loss", -1, "scenario mode: per-hop message loss probability (-1 = preset default)")
+	faults := flag.Float64("faults", -1, "scenario mode: fraction of crashed nodes on the fault plane (-1 = preset default)")
+	partition := flag.String("partition", "", "scenario mode: cut the key space at comma-separated points, e.g. 0.25,0.75 (cut at t=0.4·duration, healed at 0.6·duration)")
+	faultSeed := flag.Uint64("fault-seed", 0, "scenario mode: seed for the fault plane, split from -seed's churn/load streams (0 = derive from -seed)")
 	simJSON := flag.String("sim-json", "", "write the scenario report as JSON to this file")
 	simCSV := flag.String("sim-csv", "", "write the scenario series as CSV to this file")
 	flag.Parse()
@@ -222,6 +238,33 @@ func main() {
 		}
 		sc.Seed = *seed
 		sc.Load.Target = sim.DataTargets(d)
+		sc.FaultSeed = *faultSeed
+		if *loss >= 0 || *faults >= 0 {
+			if sc.Faults == nil {
+				sc.Faults = &netmodel.Config{}
+			}
+			if *loss >= 0 {
+				sc.Faults.Loss = *loss
+			}
+			if *faults >= 0 {
+				sc.Faults.DeadFrac = *faults
+			}
+		}
+		if *partition != "" {
+			var cuts []float64
+			for _, s := range strings.Split(*partition, ",") {
+				var c float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &c); err != nil {
+					die(fmt.Errorf("bad -partition cut %q: %v", s, err))
+				}
+				cuts = append(cuts, c)
+			}
+			sc.Arrivals = append(sc.Arrivals, &sim.PartitionEvent{
+				At:     0.4 * sc.Duration,
+				HealAt: 0.6 * sc.Duration,
+				Cuts:   cuts,
+			})
+		}
 
 		report, err := sim.Run(ctx, buildDynamic(), sc)
 		if err != nil {

@@ -14,23 +14,51 @@ import (
 // explores alternatives when a live local minimum has no live
 // improvement to offer.
 
-// FailSet marks a subset of nodes as crashed.
+// FailSet marks a subset of nodes as crashed. The hot-path query is
+// slot-indexed (Dead(u) is one bool load), but every mark is *pinned to
+// the identifier* the slot held when it was marked: dynamic overlays
+// rename slots under churn (overlaynet.NewIncremental's leave path
+// moves the last slot into the hole a departure opens), and a mark
+// that lived only on the slot id would silently migrate to whichever
+// live node inherits the slot. After any membership change, Sync
+// remaps the marks onto the new slot layout by identifier.
 type FailSet struct {
 	dead []bool
 	n    int
+
+	keys     []keyspace.Key // identifier per slot at the last sync
+	deadKeys []keyspace.Key // identifiers of crashed nodes, ascending
 }
 
 // NewFailSet marks each node dead independently with probability frac,
 // using r. The source and destination of experiments can be re-rolled by
 // the caller via Alive.
 func NewFailSet(nw *Network, r *xrand.Stream, frac float64) *FailSet {
-	fs := &FailSet{dead: make([]bool, nw.N())}
+	return NewFailSetKeys(nw.Keys(), r, frac)
+}
+
+// NewFailSetKeys is NewFailSet over an explicit identifier slice —
+// the constructor for dynamic overlays, whose population is not a
+// *Network. The draw order (one Bool per slot, ascending) is part of
+// the replay format shared with NewFailSet.
+func NewFailSetKeys(keys []keyspace.Key, r *xrand.Stream, frac float64) *FailSet {
+	fs := &FailSet{
+		dead: make([]bool, len(keys)),
+		keys: append([]keyspace.Key(nil), keys...),
+	}
 	for i := range fs.dead {
 		if r.Bool(frac) {
 			fs.dead[i] = true
 			fs.n++
 		}
 	}
+	fs.deadKeys = fs.deadKeys[:0]
+	for i, d := range fs.dead {
+		if d {
+			fs.deadKeys = append(fs.deadKeys, fs.keys[i])
+		}
+	}
+	sortKeys(fs.deadKeys)
 	return fs
 }
 
@@ -43,11 +71,108 @@ func (fs *FailSet) Alive(u int) bool { return !fs.dead[u] }
 // CountDead returns the number of crashed nodes.
 func (fs *FailSet) CountDead() int { return fs.n }
 
+// Fail marks node u crashed (a no-op when it already is).
+func (fs *FailSet) Fail(u int) {
+	if fs.dead[u] {
+		return
+	}
+	fs.dead[u] = true
+	fs.n++
+	fs.insertDeadKey(fs.keys[u])
+}
+
 // Revive clears the failure of node u (used by tests).
 func (fs *FailSet) Revive(u int) {
 	if fs.dead[u] {
 		fs.dead[u] = false
 		fs.n--
+		fs.removeDeadKey(fs.keys[u])
+	}
+}
+
+// Sync remaps the fail marks onto a new slot layout: slot u is dead
+// iff keys[u] is a marked identifier. Call it after every membership
+// change of a dynamic overlay, passing the overlay's current Keys().
+// Marked identifiers no longer present (the crashed node finally left
+// the population) are forgotten.
+func (fs *FailSet) Sync(keys []keyspace.Key) {
+	if cap(fs.dead) >= len(keys) {
+		fs.dead = fs.dead[:len(keys)]
+		for i := range fs.dead {
+			fs.dead[i] = false
+		}
+	} else {
+		fs.dead = make([]bool, len(keys))
+	}
+	fs.keys = append(fs.keys[:0], keys...)
+	fs.n = 0
+	old := fs.deadKeys
+	for u, k := range fs.keys {
+		if searchKeys(old, k) >= 0 {
+			fs.dead[u] = true
+			fs.n++
+		}
+	}
+	fresh := make([]keyspace.Key, 0, fs.n)
+	for u, d := range fs.dead {
+		if d {
+			fresh = append(fresh, fs.keys[u])
+		}
+	}
+	sortKeys(fresh)
+	fs.deadKeys = fresh
+}
+
+// insertDeadKey adds k to the sorted marked-identifier set.
+func (fs *FailSet) insertDeadKey(k keyspace.Key) {
+	i := lowerBound(fs.deadKeys, k)
+	if i < len(fs.deadKeys) && fs.deadKeys[i] == k {
+		return
+	}
+	fs.deadKeys = append(fs.deadKeys, 0)
+	copy(fs.deadKeys[i+1:], fs.deadKeys[i:])
+	fs.deadKeys[i] = k
+}
+
+// removeDeadKey deletes k from the sorted marked-identifier set.
+func (fs *FailSet) removeDeadKey(k keyspace.Key) {
+	i := lowerBound(fs.deadKeys, k)
+	if i < len(fs.deadKeys) && fs.deadKeys[i] == k {
+		fs.deadKeys = append(fs.deadKeys[:i], fs.deadKeys[i+1:]...)
+	}
+}
+
+// lowerBound returns the first index in the ascending slice whose key
+// is >= k.
+func lowerBound(ks []keyspace.Key, k keyspace.Key) int {
+	lo, hi := 0, len(ks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ks[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchKeys returns k's index in the ascending slice, or -1.
+func searchKeys(ks []keyspace.Key, k keyspace.Key) int {
+	i := lowerBound(ks, k)
+	if i < len(ks) && ks[i] == k {
+		return i
+	}
+	return -1
+}
+
+// sortKeys sorts identifiers ascending (insertion sort: fail sets are
+// built once and the marked subset is small).
+func sortKeys(ks []keyspace.Key) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
 	}
 }
 

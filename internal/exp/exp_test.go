@@ -387,10 +387,55 @@ func TestE19SustainsLogHopsUnderChurn(t *testing.T) {
 	}
 }
 
+func TestE22HostileDeliveryAndRecovery(t *testing.T) {
+	tab := E22HostileNetwork(Quick, 22)
+	if len(tab.Rows) != 12 {
+		t.Fatalf("E22 rows: %d\n%s", len(tab.Rows), tab.String())
+	}
+	for i := range tab.Rows {
+		dead := cell(t, tab, i, 2)
+		retries := cell(t, tab, i, 3)
+		deliv := cell(t, tab, i, 5)
+		// The acceptance bar: with the default retry budget on a plane
+		// with no crashed nodes, ≥99% of queries arrive at any swept
+		// loss rate.
+		if retries >= 2 && dead == 0 && deliv < 99 {
+			t.Errorf("row %d: delivered %.2f%%, want ≥ 99%% with retries on a crash-free plane",
+				i, deliv)
+		}
+		if lat := cell(t, tab, i, 9); lat <= 0 || lat > 1 {
+			t.Errorf("row %d: latency p95 %.4f implausible", i, lat)
+		}
+	}
+	// Retries must help: at 10% loss (crash-free), the no-retry row
+	// delivers less than the retrying row.
+	noRetry, withRetry := cell(t, tab, 8, 5), cell(t, tab, 9, 5)
+	if noRetry >= withRetry {
+		t.Errorf("10%% loss: no-retry delivered %.2f%% ≥ retrying %.2f%%", noRetry, withRetry)
+	}
+	// Partition-heal trajectory: success collapses during the cut and
+	// is back at 100% by the second post-heal window.
+	var sawCut, sawRecovery bool
+	for _, note := range tab.Notes {
+		if strings.HasPrefix(note, "partition-heal t=50:") && !strings.Contains(note, "100.0%") {
+			sawCut = true
+		}
+		if strings.HasPrefix(note, "partition-heal t=80:") && strings.Contains(note, "100.0%") {
+			sawRecovery = true
+		}
+	}
+	if !sawCut {
+		t.Error("E22: no success degradation during the partition window")
+	}
+	if !sawRecovery {
+		t.Errorf("E22: success did not recover after healing; notes: %v", tab.Notes)
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	rs := Runners()
-	if len(rs) != 21 {
-		t.Fatalf("expected 21 runners, got %d", len(rs))
+	if len(rs) != 22 {
+		t.Fatalf("expected 22 runners, got %d", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

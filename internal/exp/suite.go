@@ -34,6 +34,7 @@ func Runners() []Runner {
 		{"E19", "routing under churn (sim)", E19ChurnDynamics},
 		{"E20", "million-node scale (build/memory/routing)", E20LargeScale},
 		{"E21", "serving under churn (lock-free snapshots)", E21ServeUnderChurn},
+		{"E22", "hostile network (loss × faults × retries, partition heal)", E22HostileNetwork},
 	}
 }
 

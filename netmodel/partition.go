@@ -1,0 +1,138 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"smallworld/keyspace"
+)
+
+// Partition splits the population into disconnected components. Two
+// primitives, selected by which field is set:
+//
+//   - Key-space cut: Cuts lists ascending cut points in [0,1); the keys
+//     between consecutive cuts form one component, and the segment
+//     wrapping through 1.0 joins the segment below the first cut (ring
+//     semantics), so at least two cuts are required to actually
+//     disconnect anything.
+//   - Random node set: Frac sends each identifier independently into
+//     the minority component with probability Frac, keyed on Seed — the
+//     node-capture setting of the random-key-graph k-connectivity
+//     literature.
+//
+// A Partition value is immutable once installed; healing is
+// Model.Heal, re-cutting is another SetPartition. Component is a pure
+// hash/scan of the identifier, so membership survives churn renames
+// exactly like the node fault classes.
+type Partition struct {
+	Cuts []float64
+	Frac float64
+	Seed uint64
+
+	partSeed uint64 // pre-mixed node-set seed, filled by SetPartition
+}
+
+// validate rejects partitions that cannot disconnect anything or are
+// not in canonical form.
+func (p Partition) validate() error {
+	switch {
+	case len(p.Cuts) > 0:
+		if len(p.Cuts) < 2 {
+			return fmt.Errorf("netmodel: key-space partition needs >= 2 cuts (the wrap segment rejoins below the first cut)")
+		}
+		prev := math.Inf(-1)
+		for _, c := range p.Cuts {
+			if math.IsNaN(c) || c < 0 || c >= 1 {
+				return fmt.Errorf("netmodel: cut %v outside [0,1)", c)
+			}
+			if c <= prev {
+				return fmt.Errorf("netmodel: cuts must be strictly ascending")
+			}
+			prev = c
+		}
+		return nil
+	case p.Frac > 0:
+		if math.IsNaN(p.Frac) || p.Frac > 1 {
+			return fmt.Errorf("netmodel: partition frac %v outside (0,1]", p.Frac)
+		}
+		return nil
+	default:
+		return fmt.Errorf("netmodel: partition needs Cuts or Frac")
+	}
+}
+
+// Component returns the partition component holding identifier k.
+// Components are numbered from 0; in node-set mode the minority set is
+// component 1.
+func (p *Partition) Component(k keyspace.Key) int {
+	if len(p.Cuts) > 0 {
+		// Component index = number of cuts at or below k, wrapped so the
+		// top segment rejoins the bottom one (ring semantics). Cut lists
+		// are short; a linear scan beats binary search at this size.
+		c := 0
+		for _, cut := range p.Cuts {
+			if float64(k) >= cut {
+				c++
+			}
+		}
+		return c % len(p.Cuts)
+	}
+	if hash01(p.partSeed, k) < p.Frac {
+		return 1
+	}
+	return 0
+}
+
+// SetPartition installs p as the active partition, bumping the fault
+// epoch. Safe for concurrent use with the class queries; per-message
+// calls observe the new partition immediately.
+func (m *Model) SetPartition(p Partition) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	p.Cuts = append([]float64(nil), p.Cuts...)
+	p.partSeed = mix(m.seed ^ p.Seed ^ saltPartition)
+	m.part.store(&p)
+	m.epoch.add(1)
+	return nil
+}
+
+// Heal removes the active partition (a no-op without one), bumping the
+// fault epoch when something changed.
+func (m *Model) Heal() {
+	if m.part.load() == nil {
+		return
+	}
+	m.part.store(nil)
+	m.epoch.add(1)
+}
+
+// Partitioned reports whether a partition is active.
+func (m *Model) Partitioned() bool { return m.part.load() != nil }
+
+// Component returns the partition component holding identifier k, or 0
+// when no partition is active.
+func (m *Model) Component(k keyspace.Key) int {
+	if p := m.part.load(); p != nil {
+		return p.Component(k)
+	}
+	return 0
+}
+
+// partitionState is the atomically swapped active partition.
+type partitionState struct {
+	p atomic.Pointer[Partition]
+}
+
+func (s *partitionState) load() *Partition   { return s.p.Load() }
+func (s *partitionState) store(p *Partition) { s.p.Store(p) }
+
+// epochCounter is the atomically read fault epoch.
+type epochCounter struct {
+	v atomic.Uint64
+}
+
+func (c *epochCounter) load() uint64   { return c.v.Load() }
+func (c *epochCounter) store(x uint64) { c.v.Store(x) }
+func (c *epochCounter) add(x uint64)   { c.v.Add(x) }

@@ -1,0 +1,148 @@
+package overlaynet
+
+import (
+	"context"
+	"testing"
+
+	"smallworld"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// The FailSet drift bug: marks were slot-indexed, but NewIncremental's
+// leave path renames the last slot into the hole a departure opens, so
+// a mark on the (renamed) last slot silently migrated onto a live
+// node. These tests pin the identifier-keyed fix.
+
+func buildChurnOverlay(t *testing.T, n int) Dynamic {
+	t.Helper()
+	dyn, err := NewIncremental(context.Background(), "smallworld-uniform", Options{N: n, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dyn
+}
+
+// TestFailSetSurvivesSlotRename is the minimal drift reproducer: mark
+// the LAST slot dead, make an earlier node leave (which renames the
+// last slot into the hole), and check the mark followed the identifier
+// instead of sticking to the now-reused slot id.
+func TestFailSetSurvivesSlotRename(t *testing.T) {
+	ctx := context.Background()
+	dyn := buildChurnOverlay(t, 32)
+	fs := smallworld.NewFailSetKeys(dyn.Keys(), xrand.New(1), 0)
+
+	last := dyn.N() - 1
+	deadKey := dyn.Key(last)
+	fs.Fail(last)
+	movedKey := deadKey // the identifier that will be renamed into the hole
+
+	const hole = 3
+	if dyn.Key(hole) == deadKey {
+		t.Fatal("test setup: hole holds the marked identifier")
+	}
+	if err := dyn.Leave(ctx, hole); err != nil {
+		t.Fatal(err)
+	}
+	fs.Sync(dyn.Keys())
+
+	if got := fs.CountDead(); got != 1 {
+		t.Fatalf("CountDead = %d after rename, want 1", got)
+	}
+	for u := 0; u < dyn.N(); u++ {
+		wantDead := dyn.Key(u) == movedKey
+		if fs.Dead(u) != wantDead {
+			t.Errorf("slot %d (key %v): Dead = %v, want %v", u, dyn.Key(u), fs.Dead(u), wantDead)
+		}
+	}
+}
+
+// TestFailSetChurnInterleaving drives a random join/leave/fail/revive
+// interleaving against a reference map keyed on identifiers, syncing
+// after every membership event.
+func TestFailSetChurnInterleaving(t *testing.T) {
+	ctx := context.Background()
+	dyn := buildChurnOverlay(t, 64)
+	rng := xrand.New(7)
+	fs := smallworld.NewFailSetKeys(dyn.Keys(), rng, 0.2)
+
+	ref := make(map[keyspace.Key]bool)
+	for u, k := range dyn.Keys() {
+		if fs.Dead(u) {
+			ref[k] = true
+		}
+	}
+
+	check := func(step int) {
+		t.Helper()
+		n := dyn.N()
+		count := 0
+		for u := 0; u < n; u++ {
+			want := ref[dyn.Key(u)]
+			if fs.Dead(u) != want {
+				t.Fatalf("step %d: slot %d (key %v): Dead = %v, want %v",
+					step, u, dyn.Key(u), fs.Dead(u), want)
+			}
+			if want {
+				count++
+			}
+		}
+		if fs.CountDead() != count {
+			t.Fatalf("step %d: CountDead = %d, want %d", step, fs.CountDead(), count)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 && dyn.N() < 96:
+			if err := dyn.Join(ctx); err != nil {
+				t.Fatal(err)
+			}
+			fs.Sync(dyn.Keys())
+		case op == 1 && dyn.N() > 16:
+			victim := rng.Intn(dyn.N())
+			delete(ref, dyn.Key(victim)) // the departed identifier is forgotten
+			if err := dyn.Leave(ctx, victim); err != nil {
+				t.Fatal(err)
+			}
+			fs.Sync(dyn.Keys())
+		case op == 2:
+			u := rng.Intn(dyn.N())
+			fs.Fail(u)
+			ref[dyn.Key(u)] = true
+		default:
+			u := rng.Intn(dyn.N())
+			fs.Revive(u)
+			delete(ref, dyn.Key(u))
+		}
+		check(step)
+	}
+}
+
+// TestFailSetSyncForgetsDeparted: a marked identifier that leaves the
+// population must not resurrect a mark when the slot count shrinks and
+// regrows.
+func TestFailSetSyncForgetsDeparted(t *testing.T) {
+	ctx := context.Background()
+	dyn := buildChurnOverlay(t, 16)
+	fs := smallworld.NewFailSetKeys(dyn.Keys(), xrand.New(3), 0)
+
+	const victim = 5
+	fs.Fail(victim)
+	if err := dyn.Leave(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	fs.Sync(dyn.Keys())
+	if fs.CountDead() != 0 {
+		t.Fatalf("CountDead = %d after the marked node departed, want 0", fs.CountDead())
+	}
+	if err := dyn.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fs.Sync(dyn.Keys())
+	for u := 0; u < dyn.N(); u++ {
+		if fs.Dead(u) {
+			t.Fatalf("slot %d resurrected a departed mark", u)
+		}
+	}
+}

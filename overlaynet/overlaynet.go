@@ -16,6 +16,13 @@
 // string flag and future overlays plug into the whole experiment,
 // metrics and benchmark machinery by adding one adapter.
 //
+// Routing can also run against a hostile message plane: RobustRouter
+// executes a RobustPolicy (per-hop timeout, bounded retries with
+// exponential backoff and jitter, next-best-neighbour fallback) over
+// any Transport — package netmodel supplies loss, latency, dead/slow/
+// byzantine nodes and partitions — and returns a typed Outcome:
+// Delivered, DeliveredDegraded, TimedOut or Unroutable.
+//
 // Identifier convention: every overlay projects its nodes onto the unit
 // key space [0,1) of package keyspace, whatever its native identifier
 // space is. 64-bit ring DHTs (Chord, Pastry) divide their ids by 2^64;

@@ -56,7 +56,59 @@ type Publisher struct {
 	pending int
 	epoch   uint64
 
+	faults     FaultPlane
+	vantage    keyspace.Key
+	hasVantage bool
+
 	cur atomic.Pointer[Snapshot]
+}
+
+// FaultPlane is the node-fault view a Publisher materialises into each
+// snapshot it publishes: which identifiers are crashed, stamped with a
+// reconfiguration epoch so a stale mask is distinguishable from a
+// current one. netmodel.Model implements it. Both methods must be safe
+// to call from the publisher's writer side concurrently with readers.
+type FaultPlane interface {
+	// Dead reports whether the node holding identifier k is crashed.
+	Dead(k keyspace.Key) bool
+	// FaultEpoch counts fault-plane reconfigurations.
+	FaultEpoch() uint64
+}
+
+// ReachabilityPlane is optionally implemented by fault planes that
+// also know pairwise reachability (partitions). netmodel.Model
+// implements it.
+type ReachabilityPlane interface {
+	FaultPlane
+	// Unreachable reports whether a message from the node holding
+	// `from` can never reach the node holding `to`.
+	Unreachable(from, to keyspace.Key) bool
+}
+
+// SetFaultPlane installs (or, with nil, removes) the fault plane and
+// republishes so the current snapshot carries a fresh mask. Snapshots
+// then skip dead candidates during routing with zero extra
+// allocations. The mask is re-materialised at every publication; after
+// reconfiguring the plane (a partition cut or heal), call Publish to
+// propagate the new epoch immediately rather than waiting for the next
+// membership boundary.
+func (p *Publisher) SetFaultPlane(fp FaultPlane) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = fp
+	p.publishLocked()
+}
+
+// SetVantage declares the identifier the publisher itself serves from.
+// With a vantage and a ReachabilityPlane, published masks also cover
+// nodes unreachable *from the vantage* — the far side of a partition —
+// so a partitioned publisher serves exactly the component it can
+// actually reach.
+func (p *Publisher) SetVantage(k keyspace.Key) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.vantage, p.hasVantage = k, true
+	p.publishLocked()
 }
 
 // PublisherOption configures a Publisher.
@@ -111,6 +163,9 @@ func (p *Publisher) publishLocked() {
 	p.epoch++
 	s := NewSnapshot(p.dyn)
 	s.epoch = p.epoch
+	if p.faults != nil {
+		s.faults = buildFaultMask(s, p.faults, p.vantage, p.hasVantage)
+	}
 	p.cur.Store(s)
 	p.pending = 0
 }

@@ -1,0 +1,89 @@
+package overlaynet_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/netmodel"
+	"smallworld/overlaynet"
+	"smallworld/xrand"
+)
+
+// BenchmarkRouteRobust measures fault-exposed routing over a pinned
+// snapshot: greedy forwarding where every hop pays a transport draw,
+// loss triggers retry/backoff, and dead candidates are either skipped
+// via the published mask (mask=on) or discovered by timeout (mask=off)
+// — the cost the serving-path fault wiring exists to avoid. ns/op is
+// per query. The perfect-network row is the steady-state allocation
+// contract: candidate scratch is reused, so routing allocates nothing
+// once warm.
+func BenchmarkRouteRobust(b *testing.B) {
+	type config struct {
+		name string
+		cfg  netmodel.Config
+		mask bool
+	}
+	configs := []config{
+		{"perfect", netmodel.Config{}, false},
+		{"loss=5%", netmodel.Config{Loss: 0.05}, false},
+		{"dead=10%/mask=off", netmodel.Config{DeadFrac: 0.1}, false},
+		{"dead=10%/mask=on", netmodel.Config{DeadFrac: 0.1}, true},
+	}
+	for _, cfg := range configs {
+		b.Run(fmt.Sprintf("N=%d/%s", 1<<12, cfg.name), func(b *testing.B) {
+			benchRouteRobust(b, 1<<12, cfg.cfg, cfg.mask)
+		})
+	}
+}
+
+func benchRouteRobust(b *testing.B, n int, cfg netmodel.Config, mask bool) {
+	ctx := context.Background()
+	dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", overlaynet.Options{
+		N: n, Seed: 9, Dist: dist.NewPower(0.7), Topology: keyspace.Ring,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tr overlaynet.Transport
+	var m *netmodel.Model
+	if cfg != (netmodel.Config{}) {
+		if m, err = netmodel.New(cfg, 7); err != nil {
+			b.Fatal(err)
+		}
+		tr = m
+	}
+	snap := overlaynet.NewSnapshot(dyn)
+	if mask {
+		pub, err := overlaynet.NewPublisher(dyn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pub.SetFaultPlane(m)
+		snap = pub.Snapshot()
+	}
+	rr, err := overlaynet.NewRobustRouter(snap, tr, overlaynet.RobustPolicy{}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(21)
+	srcs := make([]int, 4096)
+	targets := make([]keyspace.Key, len(srcs))
+	for i := range srcs {
+		for {
+			srcs[i] = rng.Intn(snap.N())
+			if !snap.Dead(srcs[i]) {
+				break
+			}
+		}
+		targets[i] = keyspace.Key(rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & (len(srcs) - 1)
+		rr.RouteRobust(srcs[j], targets[j])
+	}
+}

@@ -35,6 +35,36 @@ type Snapshot struct {
 	// never mutated after construction, so the snapshot keeps the
 	// generation itself and routes through its NewRouter.
 	src Overlay
+
+	// faults, when non-nil, is the fault mask materialised at capture
+	// time from the Publisher's FaultPlane: which slots were dead (or
+	// unreachable from the publisher's vantage) as of the recorded
+	// fault epoch. Immutable like everything else in the snapshot, so
+	// SnapshotRouters skip dead candidates with one indexed load and
+	// zero allocations.
+	faults *snapFaults
+}
+
+// snapFaults is a snapshot's frozen fault mask.
+type snapFaults struct {
+	epoch uint64
+	dead  []bool
+	n     int
+}
+
+// buildFaultMask materialises fp's current view over s's population.
+// With a vantage, nodes the plane reports unreachable from it (the far
+// side of a partition) are masked too — partition-aware serving.
+func buildFaultMask(s *Snapshot, fp FaultPlane, vantage keyspace.Key, hasVantage bool) *snapFaults {
+	f := &snapFaults{epoch: fp.FaultEpoch(), dead: make([]bool, len(s.keys))}
+	rp, _ := fp.(ReachabilityPlane)
+	for u, k := range s.keys {
+		if fp.Dead(k) || (hasVantage && rp != nil && rp.Unreachable(vantage, k)) {
+			f.dead[u] = true
+			f.n++
+		}
+	}
+	return f
 }
 
 // Snapshotter is implemented by Dynamic overlays that can emit an
@@ -112,6 +142,30 @@ func (s *Snapshot) Kind() string { return s.kind }
 // NewSnapshot carry epoch 0.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
+// FaultEpoch returns the fault-plane epoch the snapshot's fault mask
+// was materialised at, 0 when the snapshot carries no mask (no
+// FaultPlane installed on the Publisher).
+func (s *Snapshot) FaultEpoch() uint64 {
+	if s.faults == nil {
+		return 0
+	}
+	return s.faults.epoch
+}
+
+// Dead reports whether the snapshot's fault mask marks slot u dead.
+// Always false without a mask.
+func (s *Snapshot) Dead(u int) bool {
+	return s.faults != nil && s.faults.dead[u]
+}
+
+// DeadCount returns the number of masked slots.
+func (s *Snapshot) DeadCount() int {
+	if s.faults == nil {
+		return 0
+	}
+	return s.faults.n
+}
+
 // Topology returns the key-space geometry the snapshot routes under.
 func (s *Snapshot) Topology() keyspace.Topology { return s.topo }
 
@@ -181,6 +235,11 @@ func (r *SnapshotRouter) Route(src int, target keyspace.Key) Result {
 	if src < 0 || src >= len(s.keys) {
 		return Result{Dest: -1}
 	}
+	if s.faults != nil && s.faults.dead[src] {
+		// A crashed node originates nothing; fail cleanly rather than
+		// routing on a dead peer's behalf.
+		return Result{Dest: -1}
+	}
 	if s.src != nil {
 		if r.innerOf != s {
 			r.inner = s.src.NewRouter()
@@ -197,6 +256,10 @@ func (r *SnapshotRouter) Route(src int, target keyspace.Key) Result {
 func (r *SnapshotRouter) routeRing(src int, target keyspace.Key) Result {
 	s := r.s
 	keys, csr := s.keys, s.csr
+	var deadMask []bool
+	if s.faults != nil {
+		deadMask = s.faults.dead
+	}
 	tf := float64(target)
 	cur := src
 	dCur := float64(keys[cur]) - tf
@@ -212,6 +275,9 @@ func (r *SnapshotRouter) routeRing(src int, target keyspace.Key) Result {
 		best, bestD := -1, dCur
 		bestKey := keys[cur]
 		for _, v := range csr.Out(cur) {
+			if deadMask != nil && deadMask[v] {
+				continue
+			}
 			vKey := keys[v]
 			d := float64(vKey) - tf
 			if d < 0 {
@@ -235,6 +301,10 @@ func (r *SnapshotRouter) routeRing(src int, target keyspace.Key) Result {
 func (r *SnapshotRouter) routeLine(src int, target keyspace.Key) Result {
 	s := r.s
 	keys, csr := s.keys, s.csr
+	var deadMask []bool
+	if s.faults != nil {
+		deadMask = s.faults.dead
+	}
 	tf := float64(target)
 	cur := src
 	dCur := math.Abs(float64(keys[cur]) - tf)
@@ -244,6 +314,9 @@ func (r *SnapshotRouter) routeLine(src int, target keyspace.Key) Result {
 		best, bestD := -1, dCur
 		bestKey := keys[cur]
 		for _, v := range csr.Out(cur) {
+			if deadMask != nil && deadMask[v] {
+				continue
+			}
 			vKey := keys[v]
 			d := float64(vKey) - tf
 			if d < 0 {
@@ -262,12 +335,71 @@ func (r *SnapshotRouter) routeLine(src int, target keyspace.Key) Result {
 }
 
 // arrived reports whether a route that stopped at distance d reached a
-// minimal-distance node for the target.
+// minimal-distance node for the target — minimal over the mask-live
+// population when the snapshot carries a fault mask (the responsible
+// node itself may be dead; stopping at its closest live neighbour is
+// then a correct delivery).
 func (r *SnapshotRouter) arrived(d float64, target keyspace.Key) bool {
 	s := r.s
 	nearest := s.byKey.Nearest(s.topo, target)
 	if nearest < 0 {
 		return false
 	}
-	return d <= s.topo.Distance(s.byKey[nearest], target)
+	if s.faults == nil || !s.faults.dead[s.order[nearest]] {
+		return d <= s.topo.Distance(s.byKey[nearest], target)
+	}
+	best, ok := s.nearestLiveDistance(target, nearest)
+	if !ok {
+		return false
+	}
+	return d <= best
+}
+
+// nearestLiveDistance returns the distance from target to the closest
+// mask-live node, scanning rank-outward from the nearest rank. Each
+// directional scan may stop at its first live hit: arc displacement
+// grows monotonically per direction, and the true nearest live node is
+// the closer of the two first hits. Reports false when every node is
+// masked.
+func (s *Snapshot) nearestLiveDistance(target keyspace.Key, start int) (float64, bool) {
+	n := len(s.byKey)
+	dead := s.faults.dead
+	if s.faults.n >= n {
+		return 0, false
+	}
+	best := s.topo.MaxDistance() + 1
+	found := false
+	// Ascending-key direction (clockwise on the ring).
+	for step, i := 0, start; step < n; step++ {
+		if !dead[s.order[i]] {
+			if d := s.topo.Distance(s.byKey[i], target); d < best {
+				best, found = d, true
+			}
+			break
+		}
+		i++
+		if i == n {
+			if s.topo != keyspace.Ring {
+				break
+			}
+			i = 0
+		}
+	}
+	// Descending-key direction (counter-clockwise).
+	for step, i := 0, start; step < n; step++ {
+		if !dead[s.order[i]] {
+			if d := s.topo.Distance(s.byKey[i], target); d < best {
+				best, found = d, true
+			}
+			break
+		}
+		i--
+		if i < 0 {
+			if s.topo != keyspace.Ring {
+				break
+			}
+			i = n - 1
+		}
+	}
+	return best, found
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"smallworld/dist"
+	"smallworld/netmodel"
 	"smallworld/xrand"
 )
 
@@ -229,6 +230,49 @@ func (s Sessions) Fire(e *Engine, r *xrand.Stream) float64 {
 		e.ScheduleSessionEnd(key, scale*life.Quantile(r.Float64()))
 	}
 	return e.Now() + r.ExpFloat64()/s.Rate
+}
+
+// PartitionEvent cuts the scenario's fault plane at At — into key-space
+// segments (Cuts, alternating between two components, as
+// netmodel.Partition documents) or a random node set (Frac) — and,
+// when HealAt > At, heals it at HealAt. It fires at most twice and
+// mutates no membership: nodes stay up, messages across the cut just
+// stop arriving. Scenarios that schedule one without configuring
+// Faults get an otherwise-perfect plane automatically.
+type PartitionEvent struct {
+	At     float64
+	HealAt float64
+	Cuts   []float64
+	Frac   float64
+	Seed   uint64
+
+	cut bool
+}
+
+// Name implements Arrival.
+func (p *PartitionEvent) Name() string { return "partition" }
+
+// Start implements Arrival.
+func (p *PartitionEvent) Start(r *xrand.Stream) float64 {
+	p.cut = false
+	if p.At < 0 || (len(p.Cuts) == 0 && p.Frac <= 0) {
+		return -1
+	}
+	return p.At
+}
+
+// Fire implements Arrival.
+func (p *PartitionEvent) Fire(e *Engine, r *xrand.Stream) float64 {
+	if !p.cut {
+		p.cut = true
+		e.SetPartition(netmodel.Partition{Cuts: p.Cuts, Frac: p.Frac, Seed: p.Seed})
+		if p.HealAt > p.At {
+			return p.HealAt
+		}
+		return -1
+	}
+	e.HealPartition()
+	return -1
 }
 
 // Maintenance fires a periodic maintenance round (Engine.Maintain)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"smallworld/keyspace"
+	"smallworld/netmodel"
 	"smallworld/overlaynet"
 	"smallworld/xrand"
 )
@@ -16,6 +17,7 @@ const (
 	evQuery                    // the load generator routes one lookup
 	evWindow                   // a metrics window closes
 	evSession                  // a scheduled session departure
+	evHop                      // an in-flight message advances (proc = flight index)
 )
 
 // event is one entry of the virtual-time queue. Events are small values
@@ -108,9 +110,27 @@ type Engine struct {
 
 	sinceMaint int // membership events since the last maintenance round
 
+	// Fault-plane state, set only when the scenario configures Faults.
+	// The model and faultRNG are seeded from FaultSeed, never split
+	// from the master chain above — adding faults must not shift the
+	// legacy stream assignment.
+	model    *netmodel.Model
+	pol      overlaynet.RobustPolicy // resolved Retry policy
+	faultRNG *xrand.Stream           // backoff jitter, byzantine detour picks
+	topo     keyspace.Topology
+	flights  []flight
+	freeFl   []int // free-listed flight slots
+
 	rec *recorder
 	err error
 }
+
+// Salts deriving the fault-side seeds from the scenario seed. Part of
+// the replay format, like netmodel's class salts.
+const (
+	faultSeedSalt = 0x9e3779b97f4a7c15 // FaultSeed when the scenario leaves it 0
+	faultRNGSalt  = 0x7f4a7c159e3779b9 // engine fault draws vs the model's own stream
+)
 
 // newEngine splits the scenario seed into the engine, load and
 // per-arrival streams — in that fixed order, so the stream assignment
@@ -135,6 +155,24 @@ func newEngine(ctx context.Context, ov overlaynet.Dynamic, sc Scenario) *Engine 
 	if e.msgr != nil {
 		total, maint := e.msgr.Messages()
 		e.rec.baseMsgs(total, maint)
+	}
+	if sc.Faults != nil {
+		fseed := sc.FaultSeed
+		if fseed == 0 {
+			fseed = sc.Seed ^ faultSeedSalt
+		}
+		m, err := netmodel.New(*sc.Faults, fseed)
+		if err != nil {
+			e.err = err
+			return e
+		}
+		e.model = m
+		e.faultRNG = xrand.New(fseed ^ faultRNGSalt)
+		e.pol = sc.Retry.Resolved()
+		e.topo = keyspace.Ring
+		if th, ok := ov.(interface{ Topology() keyspace.Topology }); ok {
+			e.topo = th.Topology()
+		}
 	}
 	return e
 }
@@ -176,6 +214,8 @@ func (e *Engine) dispatch(ev event) {
 		if next := e.now + e.sc.Window; next <= e.sc.Duration {
 			e.push(event{at: next, kind: evWindow})
 		}
+	case evHop:
+		e.stepFlight(ev.proc)
 	case evSession:
 		switch {
 		case e.err != nil:
@@ -314,18 +354,51 @@ func (e *Engine) fail(err error) {
 }
 
 // runQuery routes one lookup from a uniformly random live source to a
-// target drawn by the load generator.
+// target drawn by the load generator. Under a fault plane the lookup
+// becomes a message flight advanced by evHop events instead of an
+// instantaneous route; the load draws happen in the same order either
+// way, so the loadRNG consumption per query is part of the replay
+// format, not of the fault configuration.
 func (e *Engine) runQuery() {
 	n := e.ov.N()
 	if n < 2 {
+		return
+	}
+	src := e.loadRNG.Intn(n)
+	target := e.sc.Load.target(e.loadRNG)
+	if e.model != nil {
+		e.startFlight(src, target)
 		return
 	}
 	if e.router == nil || e.routerEpoch != e.epoch {
 		e.router = e.ov.NewRouter()
 		e.routerEpoch = e.epoch
 	}
-	src := e.loadRNG.Intn(n)
-	target := e.sc.Load.target(e.loadRNG)
 	res := e.router.Route(src, target)
 	e.rec.query(e.now, res, e.sc.TimeoutHops)
+}
+
+// SetPartition installs a partition on the scenario's fault plane. It
+// reports false when the scenario runs without faults or the partition
+// is invalid (recorded as the run's error).
+func (e *Engine) SetPartition(p netmodel.Partition) bool {
+	if e.model == nil || e.err != nil {
+		return false
+	}
+	if err := e.model.SetPartition(p); err != nil {
+		e.fail(err)
+		return false
+	}
+	e.rec.partition(e.now)
+	return true
+}
+
+// HealPartition removes the current partition, if any.
+func (e *Engine) HealPartition() bool {
+	if e.model == nil || e.err != nil || !e.model.Partitioned() {
+		return false
+	}
+	e.model.Heal()
+	e.rec.heal(e.now)
+	return true
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"smallworld/dist"
+	"smallworld/netmodel"
 )
 
 // presetFuncs build each named scenario for a starting population n.
@@ -67,6 +68,53 @@ var presetFuncs = map[string]func(n int) Scenario{
 				Maintenance{Every: 10},
 			},
 			Load: Load{Rate: float64(n) / 10},
+		}
+	},
+	// lossy: light background churn over a message plane losing 5% of
+	// packets independently per hop — the acceptance scenario for the
+	// retry discipline: ≥99% of queries must still arrive (possibly
+	// degraded) with bounded latency inflation.
+	"lossy": func(n int) Scenario {
+		return Scenario{
+			Name:     "lossy",
+			Duration: 100,
+			Window:   10,
+			Arrivals: []Arrival{
+				PoissonChurn{JoinRate: churnRate(n, 0.02) / 2, LeaveRate: churnRate(n, 0.02) / 2},
+			},
+			Load:   Load{Rate: float64(n) / 10},
+			Faults: &netmodel.Config{Loss: 0.05},
+		}
+	},
+	// partition-heal: a perfect message plane that splits into two
+	// key-space components at t=40 and heals at t=60. Cross-partition
+	// queries become unroutable during the cut; success must return to
+	// 100% within one window of healing.
+	"partition-heal": func(n int) Scenario {
+		return Scenario{
+			Name:     "partition-heal",
+			Duration: 100,
+			Window:   10,
+			Arrivals: []Arrival{
+				&PartitionEvent{At: 40, HealAt: 60, Cuts: []float64{0.25, 0.75}},
+			},
+			Load:   Load{Rate: float64(n) / 10},
+			Faults: &netmodel.Config{},
+		}
+	},
+	// byzantine: a tenth of the population misroutes or drops traffic,
+	// over a lightly lossy plane with light churn — the adversarial
+	// scenario for hijack bounding (MaxHops) and detour recovery.
+	"byzantine": func(n int) Scenario {
+		return Scenario{
+			Name:     "byzantine",
+			Duration: 100,
+			Window:   10,
+			Arrivals: []Arrival{
+				PoissonChurn{JoinRate: churnRate(n, 0.02) / 2, LeaveRate: churnRate(n, 0.02) / 2},
+			},
+			Load:   Load{Rate: float64(n) / 10},
+			Faults: &netmodel.Config{Loss: 0.01, ByzantineFrac: 0.10},
 		}
 	},
 	// sessions: peers arrive with finite lifetimes drawn from a

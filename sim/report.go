@@ -27,6 +27,16 @@ const (
 	SeriesMaintMsgs = "maint_msgs"
 	SeriesTotalMsgs = "total_msgs"
 	SeriesMsgsPerOp = "maint_msgs_per_op"
+
+	// Robust-routing series, all zero unless the scenario sets Faults:
+	// per-window outcome rates, wall-clock end-to-end latency quantiles
+	// of arrived queries, and mean resends per query.
+	SeriesDegraded   = "degraded_rate"
+	SeriesUnroutable = "unroutable_rate"
+	SeriesLatP50     = "lat_p50"
+	SeriesLatP95     = "lat_p95"
+	SeriesLatP99     = "lat_p99"
+	SeriesRetries    = "retries_per_query"
 )
 
 // Totals aggregates a whole run.
@@ -57,7 +67,18 @@ type Totals struct {
 	TotalMessages int64 `json:"total_messages"`
 	MaintMessages int64 `json:"maint_messages"`
 
+	// Robust-routing totals, populated only under a fault plane.
+	// Degraded counts arrived queries that needed retries, fallbacks,
+	// a byzantine detour, or a stand-in destination (a subset of
+	// Arrived); Unroutable counts queries stopped by partition or dead
+	// regions (a subset of Failures — the rest timed out); Retries
+	// counts resends beyond first attempts across all queries.
+	Degraded   int `json:"degraded,omitempty"`
+	Unroutable int `json:"unroutable,omitempty"`
+	Retries    int `json:"retries,omitempty"`
+
 	hopSum float64
+	latSum float64
 }
 
 // MeanHops returns the mean hop count over every arrived query.
@@ -74,6 +95,16 @@ func (t Totals) FailRate() float64 {
 		return 0
 	}
 	return float64(t.Failures) / float64(t.Queries)
+}
+
+// MeanLatency returns the mean end-to-end wall latency over every
+// arrived query (zero outside fault-plane runs, where routing is
+// instantaneous).
+func (t Totals) MeanLatency() float64 {
+	if t.Arrived == 0 {
+		return 0
+	}
+	return t.latSum / float64(t.Arrived)
 }
 
 // TraceEvent is one replayed event, captured when Scenario.RecordTrace
@@ -99,10 +130,17 @@ type Report struct {
 	Series   []metrics.Series `json:"series"`
 	Trace    []TraceEvent     `json:"trace,omitempty"`
 
+	// Robust marks a fault-plane run: queries flew as per-hop messages
+	// and the robust series/totals are meaningful.
+	Robust bool `json:"robust,omitempty"`
+
 	// Hops holds every arrived query's hop count in execution order,
 	// for whole-run quantiles. Excluded from JSON (the windowed series
 	// carry the exported shape).
 	Hops []float64 `json:"-"`
+	// Latencies holds every arrived query's end-to-end wall latency in
+	// completion order, for whole-run quantiles. Fault-plane runs only.
+	Latencies []float64 `json:"-"`
 }
 
 // Get returns the named series, or nil.
@@ -118,6 +156,12 @@ func (r *Report) Get(name string) *metrics.Series {
 // HopQuantile returns the p-quantile of all arrived queries' hops.
 func (r *Report) HopQuantile(p float64) float64 {
 	return metrics.Percentile(r.Hops, p)
+}
+
+// LatencyQuantile returns the p-quantile of all arrived queries'
+// end-to-end wall latencies (zero outside fault-plane runs).
+func (r *Report) LatencyQuantile(p float64) float64 {
+	return metrics.Percentile(r.Latencies, p)
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -178,6 +222,18 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, ", %d maint msgs", r.Totals.MaintMessages)
 	}
 	b.WriteByte('\n')
+	if r.Robust {
+		tot := r.Totals
+		pct := func(n int) float64 {
+			if tot.Queries == 0 {
+				return 0
+			}
+			return 100 * float64(n) / float64(tot.Queries)
+		}
+		fmt.Fprintf(&b, "robust: %.1f%% delivered, %.1f%% degraded, %.1f%% timeout, %.1f%% unroutable, %d retries, lat mean %.4f p95 %.4f\n",
+			pct(tot.Arrived-tot.Degraded), pct(tot.Degraded), pct(tot.Timeouts), pct(tot.Unroutable),
+			tot.Retries, tot.MeanLatency(), r.LatencyQuantile(0.95))
+	}
 	return b.String()
 }
 
@@ -187,19 +243,24 @@ type recorder struct {
 	sc      Scenario
 	overlay string
 
-	winHops                []float64
-	winQueries, winFails   int
-	winTimeouts            int
-	winJoins, winLeaves    int
-	lastTotal, lastMaint   int64
-	startTotal, startMaint int64
-	metered                bool
+	winHops                  []float64
+	winQueries, winFails     int
+	winTimeouts              int
+	winJoins, winLeaves      int
+	winDegraded, winUnroutbl int
+	winRetries               int
+	winLats                  []float64
+	lastTotal, lastMaint     int64
+	startTotal, startMaint   int64
+	metered                  bool
+	robust                   bool
 
-	series [14]metrics.Series
-	tot    Totals
-	all    []float64
-	sorted []float64 // per-window quantile scratch, reused across windows
-	trace  []TraceEvent
+	series  [20]metrics.Series
+	tot     Totals
+	all     []float64
+	allLats []float64
+	sorted  []float64 // per-window quantile scratch, reused across windows
+	trace   []TraceEvent
 }
 
 func newRecorder(sc Scenario, ov overlaynet.Dynamic) *recorder {
@@ -217,6 +278,8 @@ func newRecorder(sc Scenario, ov overlaynet.Dynamic) *recorder {
 		SeriesFailRate, SeriesTimeouts, SeriesQueries, SeriesJoins,
 		SeriesLeaves, SeriesLiveNodes, SeriesStaleness, SeriesMaintMsgs,
 		SeriesTotalMsgs, SeriesMsgsPerOp,
+		SeriesDegraded, SeriesUnroutable, SeriesLatP50, SeriesLatP95,
+		SeriesLatP99, SeriesRetries,
 	} {
 		rec.series[i].Name = name
 		rec.series[i].Points = make([]metrics.Point, 0, windows)
@@ -224,6 +287,10 @@ func newRecorder(sc Scenario, ov overlaynet.Dynamic) *recorder {
 	rec.winHops = make([]float64, 0, perWindow)
 	rec.sorted = make([]float64, 0, perWindow)
 	rec.all = make([]float64, 0, int(sc.Load.Rate*sc.Duration)+16)
+	if sc.Faults != nil {
+		rec.winLats = make([]float64, 0, perWindow)
+		rec.allLats = make([]float64, 0, int(sc.Load.Rate*sc.Duration)+16)
+	}
 	return rec
 }
 
@@ -262,6 +329,10 @@ func (rec *recorder) rejected() { rec.tot.Rejected++ }
 
 func (rec *recorder) sessionMiss() { rec.tot.SessionMisses++ }
 
+func (rec *recorder) partition(t float64) { rec.event(t, "partition", 0) }
+
+func (rec *recorder) heal(t float64) { rec.event(t, "heal", 0) }
+
 func (rec *recorder) query(t float64, res overlaynet.Result, timeoutHops int) {
 	rec.winQueries++
 	rec.tot.Queries++
@@ -281,6 +352,45 @@ func (rec *recorder) query(t float64, res overlaynet.Result, timeoutHops int) {
 		rec.tot.Failures++
 		rec.event(t, "query", -1)
 	}
+}
+
+// queryRobust records one completed message flight: a typed outcome,
+// its delivered hop count and resend count, and — for arrived queries
+// — the end-to-end wall latency. Timed-out flights feed the same
+// timeout counters TimeoutHops feeds on the instantaneous path.
+func (rec *recorder) queryRobust(t float64, o overlaynet.Outcome, hops, retries int, latency float64) {
+	rec.robust = true
+	rec.winQueries++
+	rec.tot.Queries++
+	rec.winRetries += retries
+	rec.tot.Retries += retries
+	if o.Arrived() {
+		h := float64(hops)
+		rec.winHops = append(rec.winHops, h)
+		rec.all = append(rec.all, h)
+		rec.winLats = append(rec.winLats, latency)
+		rec.allLats = append(rec.allLats, latency)
+		rec.tot.Arrived++
+		rec.tot.hopSum += h
+		rec.tot.latSum += latency
+		if o == overlaynet.DeliveredDegraded {
+			rec.winDegraded++
+			rec.tot.Degraded++
+		}
+		rec.event(t, "query", h)
+		return
+	}
+	rec.winFails++
+	rec.tot.Failures++
+	switch o {
+	case overlaynet.TimedOut:
+		rec.winTimeouts++
+		rec.tot.Timeouts++
+	case overlaynet.Unroutable:
+		rec.winUnroutbl++
+		rec.tot.Unroutable++
+	}
+	rec.event(t, "query", -1)
 }
 
 // closeWindow summarises the current accumulators into one point per
@@ -313,18 +423,35 @@ func (rec *recorder) closeWindow(e *Engine, t float64) {
 	if ops := rec.winJoins + rec.winLeaves; ops > 0 {
 		perOp = float64(dMaint) / float64(ops)
 	}
+	degRate, unrRate, retPerQ := 0.0, 0.0, 0.0
+	if rec.winQueries > 0 {
+		degRate = float64(rec.winDegraded) / float64(rec.winQueries)
+		unrRate = float64(rec.winUnroutbl) / float64(rec.winQueries)
+		retPerQ = float64(rec.winRetries) / float64(rec.winQueries)
+	}
+	lp50, lp95, lp99 := 0.0, 0.0, 0.0
+	if len(rec.winLats) > 0 {
+		rec.sorted = append(rec.sorted[:0], rec.winLats...)
+		sort.Float64s(rec.sorted)
+		lp50 = metrics.PercentileSorted(rec.sorted, 0.50)
+		lp95 = metrics.PercentileSorted(rec.sorted, 0.95)
+		lp99 = metrics.PercentileSorted(rec.sorted, 0.99)
+	}
 
 	for i, v := range []float64{
 		mean, p50, p95, p99, failRate, timeoutRate,
 		float64(rec.winQueries), float64(rec.winJoins), float64(rec.winLeaves),
 		float64(e.ov.N()), float64(e.sinceMaint), float64(dMaint), float64(dTotal), perOp,
+		degRate, unrRate, lp50, lp95, lp99, retPerQ,
 	} {
 		rec.series[i].Add(t, v)
 	}
 
 	rec.winHops = rec.winHops[:0]
+	rec.winLats = rec.winLats[:0]
 	rec.winQueries, rec.winFails, rec.winTimeouts = 0, 0, 0
 	rec.winJoins, rec.winLeaves = 0, 0
+	rec.winDegraded, rec.winUnroutbl, rec.winRetries = 0, 0, 0
 }
 
 // report closes any trailing partial window — stamped at the engine's
@@ -341,14 +468,16 @@ func (rec *recorder) report(e *Engine) *Report {
 		rec.tot.MaintMessages = maint - rec.startMaint
 	}
 	return &Report{
-		Scenario: rec.sc.Name,
-		Overlay:  rec.overlay,
-		Seed:     rec.sc.Seed,
-		Duration: rec.sc.Duration,
-		Window:   rec.sc.Window,
-		Totals:   rec.tot,
-		Series:   rec.series[:],
-		Trace:    rec.trace,
-		Hops:     rec.all,
+		Scenario:  rec.sc.Name,
+		Overlay:   rec.overlay,
+		Seed:      rec.sc.Seed,
+		Duration:  rec.sc.Duration,
+		Window:    rec.sc.Window,
+		Totals:    rec.tot,
+		Series:    rec.series[:],
+		Trace:     rec.trace,
+		Robust:    rec.robust,
+		Hops:      rec.all,
+		Latencies: rec.allLats,
 	}
 }

@@ -15,9 +15,22 @@
 // traces (Trace) — with a Load of routed queries, and Run executes the
 // event schedule on a binary-heap queue keyed on virtual time.
 //
+// Scenarios can additionally run their queries over a hostile network:
+// setting Scenario.Faults builds a netmodel fault plane, and every
+// query becomes a per-hop message flight — sampled link latencies,
+// loss, dead and byzantine nodes, partitions (PartitionEvent) — routed
+// under a RobustPolicy of timeouts, retries with backoff and next-best
+// fallbacks. Reports then carry typed outcome rates (delivered /
+// degraded / timed-out / unroutable) and wall-clock latency quantiles
+// per window. Presets "lossy", "partition-heal" and "byzantine" are
+// ready-made hostile scenarios.
+//
 // Everything is seeded through xrand: the same (overlay, Scenario)
 // pair replays bit-identically, event for event and point for point,
-// whatever the host machine or GOMAXPROCS.
+// whatever the host machine or GOMAXPROCS. Fault streams are seeded
+// from Scenario.FaultSeed, split away from the Seed master chain, so a
+// scenario with Faults removed (or re-rolled via FaultSeed) replays
+// the exact churn and load event sequence it always had.
 //
 //	ov, _ := overlaynet.Build(ctx, "protocol",
 //		overlaynet.Options{N: 256, Seed: 1, Dist: dist.NewPower(0.7)})
@@ -37,6 +50,7 @@ import (
 	"fmt"
 	"math"
 
+	"smallworld/netmodel"
 	"smallworld/overlaynet"
 )
 
@@ -74,8 +88,31 @@ type Scenario struct {
 	MaxNodes int
 	// TimeoutHops counts a query as timed out when it consumes at least
 	// this many hops (it still counts as arrived if it arrived). 0
-	// disables the timeout series.
+	// disables the timeout series. Ignored when Faults is set: message
+	// flights have real timeouts (Retry.QueryTimeout, per-hop budgets).
 	TimeoutHops int
+	// Faults, when non-nil, replaces instantaneous routing with per-hop
+	// message flights over a netmodel fault plane built from this
+	// config: every hop pays a sampled link latency, may be lost or hit
+	// a dead/partitioned/byzantine peer, and Retry governs per-hop
+	// timeouts, resends and next-best fallbacks. Each query's typed
+	// outcome (delivered / degraded / timed-out / unroutable) feeds the
+	// robust report series. nil (the default) keeps the legacy
+	// instantaneous path, bit-identical to scenarios recorded before
+	// this field existed.
+	Faults *netmodel.Config
+	// FaultSeed seeds the fault plane and the engine's fault-side draws
+	// (backoff jitter, byzantine detour picks). 0 derives it from Seed.
+	// Fault streams are created directly from FaultSeed rather than
+	// split from the Seed master chain, so the engine/load/arrival
+	// stream assignment — the replay format — is identical with and
+	// without faults, and fault placement re-rolls independently of
+	// churn and load by changing FaultSeed alone.
+	FaultSeed uint64
+	// Retry is the robust-routing policy queries fly under when Faults
+	// is set. The zero value means overlaynet.RobustPolicy's documented
+	// defaults.
+	Retry overlaynet.RobustPolicy
 	// RecordTrace captures the full event sequence into Report.Trace —
 	// the replay witness used by determinism tests. Off by default
 	// because traces grow with every event.
@@ -96,6 +133,16 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.MinNodes < 2 {
 		sc.MinNodes = 2
+	}
+	// A partition needs a fault plane to cut; a scenario that schedules
+	// one without configuring faults gets an otherwise-perfect plane.
+	if sc.Faults == nil {
+		for _, a := range sc.Arrivals {
+			if _, ok := a.(*PartitionEvent); ok {
+				sc.Faults = &netmodel.Config{}
+				break
+			}
+		}
 	}
 	return sc
 }
@@ -143,6 +190,24 @@ func (sc Scenario) validate() error {
 	} {
 		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
 			return fmt.Errorf("sim: scenario %s %v must be finite", f.name, f.v)
+		}
+	}
+	if sc.Faults != nil {
+		if err := sc.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"hop timeout", sc.Retry.HopTimeout},
+			{"backoff", sc.Retry.Backoff},
+			{"jitter", sc.Retry.Jitter},
+			{"query timeout", sc.Retry.QueryTimeout},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+				return fmt.Errorf("sim: retry %s %v must be finite", f.name, f.v)
+			}
 		}
 	}
 	return nil

@@ -263,7 +263,8 @@ func TestBernoulliTracePanics(t *testing.T) {
 
 func TestPresetCatalogue(t *testing.T) {
 	names := sim.PresetNames()
-	want := []string{"diurnal", "flashcrowd", "massfail", "sessions", "steady"}
+	want := []string{"byzantine", "diurnal", "flashcrowd", "lossy", "massfail",
+		"partition-heal", "sessions", "steady"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("preset names = %v, want %v", names, want)
 	}
