@@ -33,6 +33,16 @@
 //	swsim -scenario steady -loss 0.05 -faults 0.1 -fault-seed 7
 //	swsim -scenario steady -partition 0.25,0.75
 //
+// The replicated range store (package store) can ride any scenario as
+// its workload: -store turns every load event into a put/get/scan over
+// the overlay, with R-way replication, key/value handover on churn and
+// a durability oracle auditing every acknowledged write (-replicas sets
+// R and implies -store). The chunks preset runs the sequential-chunk
+// storage workload:
+//
+//	swsim -scenario massfail -store -replicas 3
+//	swsim -scenario chunks -n 512
+//
 // Topologies that do not implement Dynamic are wrapped with
 // overlaynet.NewRebuild, so every registered overlay is drivable;
 // -dynamic incremental selects overlaynet.NewIncremental's O(k)
@@ -89,6 +99,8 @@ func main() {
 	faults := flag.Float64("faults", -1, "scenario mode: fraction of crashed nodes on the fault plane (-1 = preset default)")
 	partition := flag.String("partition", "", "scenario mode: cut the key space at comma-separated points, e.g. 0.25,0.75 (cut at t=0.4·duration, healed at 0.6·duration)")
 	faultSeed := flag.Uint64("fault-seed", 0, "scenario mode: seed for the fault plane, split from -seed's churn/load streams (0 = derive from -seed)")
+	storeFlag := flag.Bool("store", false, "scenario mode: run the replicated range store as the workload (put/get/scan with a durability oracle)")
+	replicas := flag.Int("replicas", 0, "scenario mode: store replica count R (0 = default 3; implies -store)")
 	simJSON := flag.String("sim-json", "", "write the scenario report as JSON to this file")
 	simCSV := flag.String("sim-csv", "", "write the scenario series as CSV to this file")
 	flag.Parse()
@@ -248,6 +260,14 @@ func main() {
 			}
 			if *faults >= 0 {
 				sc.Faults.DeadFrac = *faults
+			}
+		}
+		if *storeFlag || *replicas > 0 {
+			if sc.Store == nil {
+				sc.Store = &sim.StoreScenario{}
+			}
+			if *replicas > 0 {
+				sc.Store.Replicas = *replicas
 			}
 		}
 		if *partition != "" {

@@ -53,7 +53,14 @@
 //     query load routes concurrently, recording windowed time-series
 //     health metrics with JSON/CSV export; plus the wall-clock serving
 //     harness (sim.Serve) running closed-loop concurrent query workers
-//     against overlaynet.Publisher snapshots.
+//     against overlaynet.Publisher snapshots;
+//   - store — the replicated range-store data plane the overlay exists
+//     to serve: put/get/scan resolved against overlaynet snapshots,
+//     R-way replication to rank-index successors with monotone
+//     (epoch, seq) stamps, ordered scans with read-repair, and
+//     key/value handover on churn (event-driven from OwnershipChange
+//     where the overlay narrates membership, snapshot diffing
+//     otherwise, anti-entropy sweeps as the backstop).
 //
 // The comparison baselines themselves (internal/dht/*, internal/
 // wattsstrogatz, internal/overlay) and the experiment harness

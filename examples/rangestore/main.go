@@ -1,22 +1,30 @@
 // Rangestore: the data-oriented application from the paper's
 // introduction — an order-preserving key-value store over a skewed key
-// space. String keys map to [0,1) preserving lexicographic order (no
-// hashing!), so range scans are possible; because real-world keys are
-// extremely non-uniform, peers must crowd into the hot prefix region and
-// only the skew-adapted small-world construction keeps lookups at
-// O(log N) hops.
+// space, served by the replicated store data plane. String keys map to
+// [0,1) preserving lexicographic order (no hashing!), so range scans
+// are possible; because real-world keys are extremely non-uniform,
+// peers must crowd into the hot prefix region and only the skew-adapted
+// small-world construction keeps lookups at O(log N) hops.
+//
+// The corpus is written through store.Put with R-way replication, the
+// overlay then churns — every leave is an abrupt crash — while range
+// scans keep running, and a final audit proves that no acknowledged
+// write was lost: replication plus key handover on every membership
+// event carries the data through.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"strings"
 
-	"smallworld"
 	"smallworld/dist"
 	"smallworld/keyspace"
 	"smallworld/metrics"
+	"smallworld/overlaynet"
+	"smallworld/store"
 	"smallworld/xrand"
 )
 
@@ -51,9 +59,32 @@ func vocabulary(rng *xrand.Stream, n int) []string {
 	return words
 }
 
+// scanCheck runs a verified range scan [lo, hi): everything the oracle
+// acked inside the range must come back at its acked stamp or newer.
+func scanCheck(st *store.Store, rng *xrand.Stream, oracle map[keyspace.Key]store.Stamp, lo, hi string) (got, want, hops int) {
+	iv := keyspace.Interval{Lo: keyOf(lo), Hi: keyOf(hi)}
+	res := st.Scan(rng.Intn(len(st.Members())), iv)
+	seen := make(map[keyspace.Key]store.Stamp, len(res.KVs))
+	for _, kv := range res.KVs {
+		seen[kv.Key] = kv.Stamp
+	}
+	for k, acked := range oracle {
+		if !iv.Contains(k) {
+			continue
+		}
+		want++
+		if s, ok := seen[k]; ok && !s.Less(acked) {
+			got++
+		}
+	}
+	return got, want, res.Hops
+}
+
 func main() {
-	const peers = 2048
-	const nWords = 100000
+	const peers = 512
+	const nWords = 20000
+	const replicas = 3
+	ctx := context.Background()
 	rng := xrand.New(11)
 
 	// The stored keys and their distribution over [0,1).
@@ -66,76 +97,108 @@ func main() {
 	// Estimate the key density from a sample (a real deployment would
 	// use the Section 4.2 estimation protocol) and place peers by it so
 	// storage balances.
-	f := dist.Estimate(keys[:20000], 128)
-	peerKeys := make([]keyspace.Key, peers)
-	prng := xrand.New(13)
-	for i := range peerKeys {
-		peerKeys[i] = dist.Sample(f, prng)
-	}
+	f := dist.Estimate(keys[:10000], 128)
 
-	nw, err := smallworld.Build(smallworld.Config{
-		N:        peers,
-		Dist:     f,
-		Keys:     peerKeys,
-		Measure:  smallworld.Mass,
-		Sampler:  smallworld.Protocol,
-		Topology: keyspace.Ring,
-		Seed:     17,
-	})
+	// An incremental overlay narrates its churn as OwnershipChange
+	// events; the Publisher serves lock-free snapshots and forwards the
+	// ownership feed to the store, which replicates every key to the
+	// owner and its two rank successors and re-homes data on every
+	// membership event.
+	dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed",
+		overlaynet.Options{N: peers, Seed: 17, Dist: f, Topology: keyspace.Ring})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Assign every word to its closest peer (the storage layer).
-	store := make([][]string, peers)
-	for i, k := range keys {
-		owner := nw.ClosestNode(k)
-		store[owner] = append(store[owner], words[i])
+	pub, err := overlaynet.NewPublisher(dyn, overlaynet.PublishEvery(1))
+	if err != nil {
+		log.Fatal(err)
 	}
-	loads := make([]float64, peers)
-	for i, s := range store {
-		loads[i] = float64(len(s))
+	st, err := store.New(pub, store.Config{Replicas: replicas, EventDriven: true})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("stored %d words on %d peers: mean %.1f, max %.0f words/peer (gini %.3f)\n",
-		nWords, peers, metrics.Mean(loads), metrics.Percentile(loads, 1), metrics.Gini(loads))
+	pub.SetOwnershipWatcher(st.ApplyChange)
 
-	// Point lookups: route to the owner of a word.
-	var hops []float64
-	for i := 0; i < 1000; i++ {
-		w := words[rng.Intn(len(words))]
-		rt := nw.RouteGreedy(rng.Intn(peers), keyOf(w))
-		if !rt.Arrived {
-			log.Fatalf("lookup for %q failed", w)
+	// Put the corpus through the overlay: each write routes to the
+	// key's owner and is acknowledged only after all replicas hold it.
+	// The oracle remembers every acknowledged stamp — the contract the
+	// store must honour through everything that follows.
+	oracle := make(map[keyspace.Key]store.Stamp, nWords)
+	var putHops []float64
+	for i, w := range words {
+		res := st.Put(rng.Intn(pub.N()), keys[i], []byte(w))
+		if !res.Acked {
+			log.Fatalf("put %q not acked", w)
 		}
-		hops = append(hops, float64(rt.Hops()))
+		oracle[keys[i]] = res.Stamp
+		putHops = append(putHops, float64(res.Hops))
 	}
-	fmt.Printf("point lookups: mean %.2f hops (log2 N = %.0f)\n",
-		metrics.Mean(hops), math.Log2(peers))
+	fmt.Printf("stored %d words (%d distinct keys) on %d peers, R=%d: mean %.2f hops/put (log2 N = %.0f)\n",
+		nWords, len(oracle), peers, replicas, metrics.Mean(putHops), math.Log2(peers))
 
-	// Range scan: everything in [lo, hi) — route to lo, then walk
-	// successors. Impossible on a hashing DHT; natural here because the
-	// overlay preserves key order.
-	lo, hi := "ca", "ce"
-	rt := nw.RouteGreedy(rng.Intn(peers), keyOf(lo))
-	cur := rt.Path[len(rt.Path)-1]
-	// Back up while the predecessor still covers part of the range.
-	for cur > 0 && nw.Key(cur-1) >= keyOf(lo) {
-		cur--
+	// Storage balance: order-preserving placement with density-adapted
+	// peer keys keeps per-owner load even despite the prefix skew.
+	members := st.Members()
+	loads := make([]float64, len(members))
+	for k := range oracle {
+		loads[keyspace.Owner(keyspace.Ring, members, k)]++
 	}
-	scanHops := rt.Hops()
-	matched := 0
-	for nw.Key(cur) < keyOf(hi) {
-		for _, w := range store[cur] {
-			if w >= lo && w < hi {
-				matched++
+	fmt.Printf("primary placement: mean %.1f, max %.0f keys/peer (gini %.3f)\n",
+		metrics.Mean(loads), metrics.Percentile(loads, 1), metrics.Gini(loads))
+
+	// Range scan: everything in ["ca", "ce") — impossible on a hashing
+	// DHT; here it is one route plus an ordered successor walk.
+	got, want, hops := scanCheck(st, rng, oracle, "ca", "ce")
+	fmt.Printf("range scan [%q, %q): %d/%d keys found, %d hops (route + successor walk)\n",
+		"ca", "ce", got, want, hops)
+
+	// Churn: 400 membership events, every leave an abrupt crash of a
+	// random peer (its bucket is simply gone). Scans keep running and
+	// writes keep landing while ownership hands over underneath them.
+	prefixes := []string{"a", "c", "f", "m", "t"}
+	var scansOK, scans int
+	for ev := 0; ev < 400; ev++ {
+		if ev%2 == 0 {
+			if err := pub.Leave(ctx, rng.Intn(pub.LiveN())); err != nil {
+				log.Fatal(err)
+			}
+		} else if err := pub.Join(ctx); err != nil {
+			log.Fatal(err)
+		}
+		if ev%10 == 5 {
+			// A write in flight during churn: overwrite a random word.
+			i := rng.Intn(len(words))
+			if res := st.Put(rng.Intn(pub.N()), keys[i], []byte(words[i])); res.Acked {
+				oracle[keys[i]] = res.Stamp
 			}
 		}
-		cur++
-		scanHops++
-		if cur >= peers {
-			break
+		if ev%40 == 19 {
+			p := prefixes[rng.Intn(len(prefixes))]
+			g, w, _ := scanCheck(st, rng, oracle, p, p+"zzzzzzzzz")
+			scans++
+			if g == w {
+				scansOK++
+			}
+		}
+		if ev%100 == 99 {
+			st.Sweep() // anti-entropy backstop: top up thin replica sets
 		}
 	}
-	fmt.Printf("range scan [%q, %q): %d words found, %d hops (route + successor walk)\n",
-		lo, hi, matched, scanHops)
+	fmt.Printf("churn: 400 events (crash leaves), %d/%d mid-churn range scans fully correct\n",
+		scansOK, scans)
+
+	// The durability audit: every acknowledged write must still be
+	// readable at its acked stamp or newer.
+	lost := 0
+	for k, acked := range oracle {
+		if s, ok := st.Newest(k); !ok || s.Less(acked) {
+			lost++
+		}
+	}
+	s := st.Stats()
+	fmt.Printf("durability: %d acked writes, %d lost; %d re-replicated, %d read-repaired, %.1f MB moved for handover\n",
+		s.AckedWrites, lost, s.Rereplicated, s.ReadRepairs, float64(s.BytesMoved)/1e6)
+	if lost > 0 {
+		log.Fatalf("%d acknowledged writes lost", lost)
+	}
 }

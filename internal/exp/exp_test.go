@@ -432,10 +432,49 @@ func TestE22HostileDeliveryAndRecovery(t *testing.T) {
 	}
 }
 
+func TestE23StoreDurability(t *testing.T) {
+	tab := E23ReplicatedStore(Quick, 23)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("E23 rows: %d\n%s", len(tab.Rows), tab.String())
+	}
+	if tab.Rows[0][0] != "steady" || cell(t, tab, 0, 1) != 1 {
+		t.Fatalf("row 0 should be the steady R=1 control, got %v", tab.Rows[0])
+	}
+	for i := range tab.Rows {
+		if acked := cell(t, tab, i, 4); acked == 0 {
+			t.Errorf("row %d (%s): no acked writes", i, tab.Rows[i][0])
+		}
+		if cell(t, tab, i, 1) != 3 {
+			continue // the R=1 control is allowed to lose data
+		}
+		// The acceptance bar: at R=3 every preset — massfail's
+		// correlated quarter-population crash included — must lose zero
+		// acked writes with 100% scan correctness.
+		if lost := cell(t, tab, i, 5); lost != 0 {
+			t.Errorf("row %d (%s): lost %.0f acked writes at R=3", i, tab.Rows[i][0], lost)
+		}
+		if scanOK := cell(t, tab, i, 6); scanOK != 100 {
+			t.Errorf("row %d (%s): scan correctness %.2f%%, want 100%%", i, tab.Rows[i][0], scanOK)
+		}
+		if stale := cell(t, tab, i, 7); stale != 0 {
+			t.Errorf("row %d (%s): %.0f stale reads at R=3", i, tab.Rows[i][0], stale)
+		}
+	}
+	sawMassfail := false
+	for _, row := range tab.Rows {
+		if row[0] == "massfail" {
+			sawMassfail = true
+		}
+	}
+	if !sawMassfail {
+		t.Error("E23 is missing the massfail acceptance row")
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	rs := Runners()
-	if len(rs) != 22 {
-		t.Fatalf("expected 22 runners, got %d", len(rs))
+	if len(rs) != 23 {
+		t.Fatalf("expected 23 runners, got %d", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

@@ -35,6 +35,7 @@ func Runners() []Runner {
 		{"E20", "million-node scale (build/memory/routing)", E20LargeScale},
 		{"E21", "serving under churn (lock-free snapshots)", E21ServeUnderChurn},
 		{"E22", "hostile network (loss × faults × retries, partition heal)", E22HostileNetwork},
+		{"E23", "replicated range store (durability, scans, handover)", E23ReplicatedStore},
 	}
 }
 

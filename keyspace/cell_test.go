@@ -1,0 +1,120 @@
+package keyspace
+
+import (
+	"math"
+	"testing"
+)
+
+// skewedPoints builds n distinct keys crowded toward 0 (power-law
+// spacing), the population shape the paper's skewed model creates.
+func skewedPoints(n int, pow float64, salt uint64) Points {
+	p := make(Points, 0, n)
+	seen := map[Key]bool{}
+	s := salt*2654435761 + 12345
+	for len(p) < n {
+		s = s*6364136223846793005 + 1442695040888963407
+		u := float64(s>>11) / (1 << 53)
+		k := Clamp(math.Pow(u, pow))
+		if !seen[k] {
+			seen[k] = true
+			p = append(p, k)
+		}
+	}
+	return SortPoints(p)
+}
+
+// TestCellTiling pins the cell invariants under skewed keys and
+// non-power-of-two populations, on both topologies: cells are pairwise
+// disjoint, their lengths sum to the full key space, and every probe
+// key lies in exactly one cell — whose index Owner returns.
+func TestCellTiling(t *testing.T) {
+	for _, topo := range []Topology{Ring, Line} {
+		for _, n := range []int{1, 2, 3, 7, 37, 100, 257} {
+			for _, pow := range []float64{1, 3, 8} {
+				p := skewedPoints(n, pow, uint64(n)*1000+uint64(pow))
+				sum := 0.0
+				for i := range p {
+					sum += Cell(topo, p, i).Length()
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("%v n=%d pow=%g: cell lengths sum to %v, want 1", topo, n, pow, sum)
+				}
+				// Probe keys: uniform grid plus the identifiers and cell
+				// boundaries themselves (the half-open edge cases).
+				probes := make([]Key, 0, 4*n+64)
+				for i := 0; i < 64; i++ {
+					probes = append(probes, Key(float64(i)/64))
+				}
+				for i, k := range p {
+					c := Cell(topo, p, i)
+					probes = append(probes, k, c.Lo)
+					if c.Hi.Valid() {
+						probes = append(probes, c.Hi)
+					}
+				}
+				for _, k := range probes {
+					owners := 0
+					ownerIdx := -1
+					for i := range p {
+						if Cell(topo, p, i).Contains(k) {
+							owners++
+							ownerIdx = i
+						}
+					}
+					if owners != 1 {
+						t.Fatalf("%v n=%d pow=%g: key %v in %d cells, want exactly 1", topo, n, pow, k, owners)
+					}
+					if got := Owner(topo, p, k); got != ownerIdx {
+						t.Fatalf("%v n=%d pow=%g: Owner(%v) = %d, want %d", topo, n, pow, k, got, ownerIdx)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCellDisjointRanges verifies adjacent cells share only their
+// half-open boundary: cell i's Hi equals cell i+1's Lo (ring: cyclic).
+func TestCellDisjointRanges(t *testing.T) {
+	for _, topo := range []Topology{Ring, Line} {
+		p := skewedPoints(37, 5, 7)
+		n := len(p)
+		for i := 0; i < n; i++ {
+			if topo == Line && i == n-1 {
+				continue
+			}
+			next := (i + 1) % n
+			hi := Cell(topo, p, i).Hi
+			lo := Cell(topo, p, next).Lo
+			if hi != lo {
+				t.Fatalf("%v: cell %d Hi %v != cell %d Lo %v", topo, i, hi, next, lo)
+			}
+		}
+	}
+}
+
+// TestOwnerDegenerate pins the zero-width-cell convention: duplicate
+// spacing (adjacent identifiers one ulp apart) keeps exactly one owner
+// per key.
+func TestOwnerDegenerate(t *testing.T) {
+	base := Key(0.5)
+	up := Key(math.Nextafter(0.5, 1))
+	p := Points{0.1, base, up, 0.9}
+	for _, topo := range []Topology{Ring, Line} {
+		for _, k := range []Key{0.1, base, up, 0.9, 0.49, 0.51} {
+			owners := 0
+			for i := range p {
+				if Cell(topo, p, i).Contains(k) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("%v: key %v owned by %d cells", topo, k, owners)
+			}
+			i := Owner(topo, p, k)
+			if !Cell(topo, p, i).Contains(k) {
+				t.Fatalf("%v: Owner(%v)=%d but cell %v does not contain it", topo, k, i, Cell(topo, p, i))
+			}
+		}
+	}
+}

@@ -129,9 +129,55 @@ type incrementalOverlay struct {
 
 	rng *xrand.Stream
 
+	// watcher, when installed, narrates membership events as typed
+	// ownership transfers (see OwnershipReporter).
+	watcher func(OwnershipChange)
+
 	draws   int64 // link-draw attempts (the build-equivalent operation)
 	placed  int64 // links actually installed
 	repairs int64 // links replaced after a departure
+}
+
+// SetOwnershipWatcher implements OwnershipReporter. The watcher runs
+// synchronously inside Join/Leave after the overlay's state reflects
+// the event; it must not call back into the overlay.
+func (o *incrementalOverlay) SetOwnershipWatcher(fn func(OwnershipChange)) { o.watcher = fn }
+
+// boundaryBetween returns the ownership boundary between two adjacent
+// identifiers — where their cells meet once nothing sits between them.
+func (o *incrementalOverlay) boundaryBetween(a, b keyspace.Key) keyspace.Key {
+	if o.topo == keyspace.Ring {
+		return keyspace.MidpointRing(a, b)
+	}
+	return keyspace.Key((float64(a) + float64(b)) / 2)
+}
+
+// splitCell narrates node k's cell changing hands against its flanks p
+// and s (slot ids, -1 when missing at a line end): the lower part of
+// the cell trades with p, the upper with s, split at the p–s boundary —
+// exactly the ranges a join steals from its donors and a leave bequeaths
+// to its inheritors. Identifier values are captured immediately, so the
+// events stay valid across the slot renames a Leave performs later.
+func (o *incrementalOverlay) splitCell(joined bool, k keyspace.Key, cell keyspace.Interval, p, s int32) []OwnershipChange {
+	switch {
+	case p < 0 && s < 0:
+		// Sole node: the whole space, with no counterparty.
+		return []OwnershipChange{{Joined: joined, Node: k, Peer: k, Range: cell}}
+	case p < 0:
+		return []OwnershipChange{{Joined: joined, Node: k, Peer: o.keys[s], Range: cell}}
+	case s < 0 || p == s:
+		// Line's top end, or a 2-node ring's single flank.
+		return []OwnershipChange{{Joined: joined, Node: k, Peer: o.keys[p], Range: cell}}
+	}
+	b := o.boundaryBetween(o.keys[p], o.keys[s])
+	var out []OwnershipChange
+	if lower := (keyspace.Interval{Lo: cell.Lo, Hi: b}); !lower.Empty() {
+		out = append(out, OwnershipChange{Joined: joined, Node: k, Peer: o.keys[p], Range: lower})
+	}
+	if upper := (keyspace.Interval{Lo: b, Hi: cell.Hi}); !upper.Empty() {
+		out = append(out, OwnershipChange{Joined: joined, Node: k, Peer: o.keys[s], Range: upper})
+	}
+	return out
 }
 
 func (o *incrementalOverlay) Kind() string           { return o.kind }
@@ -308,6 +354,14 @@ func (o *incrementalOverlay) Join(ctx context.Context) error {
 	o.sampleInto(id, m)
 	o.markDirty(id)
 	o.afterEvent()
+	if o.watcher != nil {
+		// The newcomer's cell was stolen from its flanks, split at their
+		// former mutual boundary.
+		cell := keyspace.Cell(o.topo, o.byKey, rank)
+		for _, ch := range o.splitCell(true, k, cell, o.pred[id], o.succ[id]) {
+			o.watcher(ch)
+		}
+	}
 	return nil
 }
 
@@ -422,6 +476,15 @@ func (o *incrementalOverlay) Leave(ctx context.Context, u int) error {
 	}
 	uid := int32(u)
 
+	// Narrate the leaver's cell being bequeathed to its flanks before any
+	// state is torn down (identifier values are captured immediately; the
+	// watcher itself runs after the event completes).
+	var changes []OwnershipChange
+	if o.watcher != nil {
+		cell := keyspace.Cell(o.topo, o.byKey, o.rankOf(u))
+		changes = o.splitCell(false, o.keys[uid], cell, o.pred[uid], o.succ[uid])
+	}
+
 	// The departing node's own links stop existing.
 	for _, t := range o.long[uid] {
 		o.dropIn(t, uid)
@@ -497,6 +560,11 @@ func (o *incrementalOverlay) Leave(ctx context.Context, u int) error {
 		o.markDirty(w)
 	}
 	o.afterEvent()
+	if o.watcher != nil {
+		for _, ch := range changes {
+			o.watcher(ch)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,87 @@
+package overlaynet
+
+import (
+	"sort"
+
+	"smallworld/keyspace"
+)
+
+// Ownership: which node is responsible for which keys. The math itself
+// lives in keyspace.Cell/Owner — the single definition shared with the
+// small-world Network and the store's replica placement — and this file
+// exposes it over snapshots plus the typed churn events that let a data
+// plane (the store package) follow ownership as membership changes.
+
+// OwnedRange returns the responsibility region of slot u in snapshot s:
+// the Voronoi cell of u's identifier over the snapshot's population,
+// under the snapshot's topology. Cells tile the key space exactly once
+// (see keyspace.Cell), so a key is owned by exactly one slot of any
+// given snapshot. An out-of-range slot yields the empty interval.
+func OwnedRange(s *Snapshot, u int) keyspace.Interval {
+	if s == nil || u < 0 || u >= len(s.keys) {
+		return keyspace.Interval{}
+	}
+	return keyspace.Cell(s.topo, s.byKey, s.rankOf(u))
+}
+
+// rankOf returns slot u's position in the ascending rank index. Binary
+// search lands on the first rank holding u's identifier; duplicate
+// identifiers (possible only transiently) are resolved by scanning the
+// equal run for the slot itself.
+func (s *Snapshot) rankOf(u int) int {
+	k := s.keys[u]
+	i := sort.Search(len(s.byKey), func(j int) bool { return s.byKey[j] >= k })
+	for ; i < len(s.order); i++ {
+		if int(s.order[i]) == u {
+			return i
+		}
+		if s.byKey[i] != k {
+			break
+		}
+	}
+	return -1
+}
+
+// SortedKeys returns the snapshot's identifiers in ascending key order —
+// the population the ownership math runs over. Read-only.
+func (s *Snapshot) SortedKeys() keyspace.Points { return s.byKey }
+
+// OwnershipChange is one typed transfer of responsibility, emitted by
+// dynamic overlays that implement OwnershipReporter. A membership event
+// moves key ranges between the node and its rank neighbours:
+//
+//   - Join: the newcomer steals Range from Peer (the flank that owned
+//     it before). A join between two live flanks emits two changes, one
+//     per donor; Joined is true and Node is the newcomer's identifier.
+//   - Leave: the leaver's cell is inherited by its flanks. Joined is
+//     false, Node is the leaver's identifier, and Peer is the inheritor
+//     that now owns Range.
+//
+// Ranges are half-open intervals in the same convention as
+// keyspace.Cell; the changes of one membership event are disjoint and
+// their union is exactly the cell that changed hands. Nodes are named
+// by identifier, not slot index: slot indices are not stable across
+// membership events (the incremental overlay renames the last slot on
+// leave), identifiers are.
+type OwnershipChange struct {
+	// Joined distinguishes a join (Node acquired Range from Peer) from
+	// a leave (Peer inherited Range from Node).
+	Joined bool
+	// Node is the identifier of the node that joined or left.
+	Node keyspace.Key
+	// Peer is the other party: the donor flank on join, the inheriting
+	// flank on leave.
+	Peer keyspace.Key
+	// Range is the half-open key interval that changed hands.
+	Range keyspace.Interval
+}
+
+// OwnershipReporter is implemented by dynamic overlays that can narrate
+// their membership events as typed ownership transfers. The watcher is
+// invoked synchronously inside Join/Leave, after the overlay's own
+// state reflects the event; it must not call back into the overlay.
+// At most one watcher is installed — a second call replaces the first;
+// nil uninstalls.
+type OwnershipReporter interface {
+	SetOwnershipWatcher(func(OwnershipChange))
+}

@@ -179,6 +179,22 @@ func (p *Publisher) afterEventLocked() {
 	}
 }
 
+// SetOwnershipWatcher forwards the watcher to the wrapped overlay when
+// it implements OwnershipReporter, so a store can follow ownership
+// through a Publisher without reaching around it. A no-op for overlays
+// that cannot narrate their churn (the store's snapshot diff sync is
+// the backstop there). The watcher runs on the writer side, inside
+// Join/Leave, while the Publisher's mutex is held — it must not call
+// back into the Publisher's mutators (Snapshot reads are fine: the
+// read path is lock-free).
+func (p *Publisher) SetOwnershipWatcher(fn func(OwnershipChange)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.dyn.(OwnershipReporter); ok {
+		r.SetOwnershipWatcher(fn)
+	}
+}
+
 // LiveN returns the wrapped overlay's current population — ahead of
 // Snapshot().N() by up to the unpublished pending events. Leave indices
 // must be drawn against this value.

@@ -13,60 +13,35 @@ import (
 
 // Cell returns node u's responsibility region: the set of keys closer to
 // u than to any other node, i.e. the Voronoi cell between the midpoints
-// toward its neighbours. On the line the first and last cells extend to
-// the ends of the key space; the last cell's Hi is exactly 1, which
-// covers the top end inclusively (every valid Key is < 1) without
-// leaking a value > 1 into Interval.Length or coverage arithmetic.
-//
-// Degenerate spacings are well defined rather than accidental: when two
-// neighbouring identifiers coincide (or sit within one float64 ulp, so
-// the midpoint rounds onto a key), the half-open boundaries make the
-// upper of the two own the shared point and the lower cell zero-width —
-// cells always tile the key space exactly once, and exactly one node is
-// responsible for any key. A sole node (n = 1) owns the whole space.
+// toward its neighbours. It delegates to keyspace.Cell — the single
+// definition of ownership shared with overlaynet.OwnedRange and the
+// store's replica placement — over the network's rank-ordered
+// identifier array. See keyspace.Cell for the boundary conventions
+// (half-open upper-side ownership, line end cells, zero-width cells
+// under degenerate spacing).
 func (nw *Network) Cell(u int) keyspace.Interval {
-	n := nw.cfg.N
-	var lo, hi keyspace.Key
-	if nw.cfg.Topology == keyspace.Ring {
-		if n == 1 {
-			return keyspace.Interval{Lo: 0, Hi: 1}
-		}
-		prev := nw.keys[(u+n-1)%n]
-		next := nw.keys[(u+1)%n]
-		lo = midpointOnRing(prev, nw.keys[u])
-		hi = midpointOnRing(nw.keys[u], next)
-		return keyspace.Interval{Lo: lo, Hi: hi}
-	}
-	if u == 0 {
-		lo = 0
-	} else {
-		lo = keyspace.Key((float64(nw.keys[u-1]) + float64(nw.keys[u])) / 2)
-	}
-	if u == n-1 {
-		hi = 1 // top end inclusive: every valid key is < 1
-	} else {
-		hi = keyspace.Key((float64(nw.keys[u]) + float64(nw.keys[u+1])) / 2)
-	}
-	return keyspace.Interval{Lo: lo, Hi: hi}
+	return keyspace.Cell(nw.cfg.Topology, keyspace.Points(nw.keys), u)
 }
 
-// midpointOnRing returns the midpoint of the clockwise arc from a to b.
-// An arc of zero (duplicate identifiers) yields a itself — the
-// zero-width-cell convention Cell documents.
+// midpointOnRing is keyspace.MidpointRing, kept as a local alias for
+// the construction internals that predate the exported form.
 func midpointOnRing(a, b keyspace.Key) keyspace.Key {
-	arc := float64(keyspace.Wrap(float64(b) - float64(a)))
-	if arc == 0 {
-		return a
-	}
-	return keyspace.Wrap(float64(a) + arc/2)
+	return keyspace.MidpointRing(a, b)
 }
 
 // RangeResult reports a range lookup.
 type RangeResult struct {
 	// Locate is the greedy route to the first responsible node.
 	Locate Route
-	// Nodes lists every node whose cell intersects the interval, in key
-	// order starting at the interval's low end.
+	// Nodes lists every node whose cell intersects the interval, in
+	// ascending key order along the interval's arc: Nodes[0] owns iv.Lo
+	// (its identifier may sit just below iv.Lo — the cell extends past
+	// the key) and each subsequent entry is the key-order successor of
+	// the one before it, so identifiers ascend strictly in arc
+	// displacement from Nodes[0]'s key. This holds across the ring wrap
+	// — for a wrapping interval (Lo > Hi) the walk proceeds through the
+	// top of the key space and continues from 0. Callers may consume
+	// the slice in order without re-sorting.
 	Nodes []int
 	// WalkHops counts the successor hops taken after arrival.
 	WalkHops int

@@ -357,3 +357,49 @@ func TestRangeLookupLineTopology(t *testing.T) {
 		}
 	}
 }
+
+// TestRangeLookupAscendingOrderAcrossWrap pins the RangeResult ordering
+// guarantee: Nodes come back in ascending key order along the
+// interval's arc even when the interval wraps through the top of the
+// ring — Nodes[0] owns iv.Lo and arc displacement from iv.Lo is
+// strictly increasing across the whole slice, so callers never need to
+// re-sort.
+func TestRangeLookupAscendingOrderAcrossWrap(t *testing.T) {
+	cfg := SkewedConfig(256, dist.NewPower(0.6), 95)
+	cfg.Topology = keyspace.Ring
+	nw := mustBuild(t, cfg)
+	r := xrand.New(96)
+	for i := 0; i < 200; i++ {
+		// Anchor near the top of the space so most intervals wrap.
+		lo := keyspace.Wrap(0.95 + 0.1*r.Float64())
+		width := 0.02 + 0.2*r.Float64()
+		iv := keyspace.Interval{Lo: lo, Hi: keyspace.Wrap(float64(lo) + width)}
+		res := nw.RangeLookup(r.Intn(nw.N()), iv)
+		if len(res.Nodes) == 0 {
+			t.Fatalf("interval %v: no nodes", iv)
+		}
+		if first := res.Nodes[0]; !nw.Cell(first).Contains(iv.Lo) {
+			t.Fatalf("interval %v: first node %d does not own iv.Lo", iv, first)
+		}
+		// Identifiers ascend strictly in arc displacement from the first
+		// node's key, through the ring wrap.
+		anchor := nw.Key(res.Nodes[0])
+		prev := 0.0
+		for j, u := range res.Nodes[1:] {
+			d := float64(keyspace.Wrap(float64(nw.Key(u)) - float64(anchor)))
+			if d <= prev {
+				t.Fatalf("interval %v: node %d at arc %v not ascending after %v (pos %d)",
+					iv, u, d, prev, j+1)
+			}
+			prev = d
+		}
+		// Successor-chain property: each node is the key-order successor
+		// of the previous one.
+		for j := 1; j < len(res.Nodes); j++ {
+			if res.Nodes[j] != nextIndex(res.Nodes[j-1], nw.N(), keyspace.Ring) {
+				t.Fatalf("interval %v: Nodes[%d]=%d is not the successor of %d",
+					iv, j, res.Nodes[j], res.Nodes[j-1])
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ const (
 	evWindow                   // a metrics window closes
 	evSession                  // a scheduled session departure
 	evHop                      // an in-flight message advances (proc = flight index)
+	evSweep                    // the store's anti-entropy sweep fires
 )
 
 // event is one entry of the virtual-time queue. Events are small values
@@ -121,6 +122,12 @@ type Engine struct {
 	flights  []flight
 	freeFl   []int // free-listed flight slots
 
+	// Storage workload, set only when the scenario configures Store.
+	// The snapshot is the store's membership view, memoised per epoch.
+	store     *storeState
+	snap      *overlaynet.Snapshot
+	snapEpoch uint64
+
 	rec *recorder
 	err error
 }
@@ -174,6 +181,9 @@ func newEngine(ctx context.Context, ov overlaynet.Dynamic, sc Scenario) *Engine 
 			e.topo = th.Topology()
 		}
 	}
+	if sc.Store != nil && e.err == nil {
+		e.initStore()
+	}
 	return e
 }
 
@@ -189,6 +199,9 @@ func (e *Engine) bootstrap() {
 		e.push(event{at: e.loadRNG.ExpFloat64() / e.sc.Load.Rate, kind: evQuery})
 	}
 	e.push(event{at: e.sc.Window, kind: evWindow})
+	if e.store != nil && e.store.cfg.SweepEvery > 0 {
+		e.push(event{at: e.store.cfg.SweepEvery, kind: evSweep})
+	}
 }
 
 func (e *Engine) push(ev event) {
@@ -216,6 +229,13 @@ func (e *Engine) dispatch(ev event) {
 		}
 	case evHop:
 		e.stepFlight(ev.proc)
+	case evSweep:
+		if e.store != nil && e.err == nil {
+			e.store.st.Sweep()
+			if next := e.now + e.store.cfg.SweepEvery; next <= e.sc.Duration {
+				e.push(event{at: next, kind: evSweep})
+			}
+		}
 	case evSession:
 		switch {
 		case e.err != nil:
@@ -336,10 +356,15 @@ func (e *Engine) Maintain() bool {
 }
 
 // membershipChanged invalidates cached routers and advances the
-// staleness clock.
+// staleness clock. The storage workload hands data over here: every
+// join/leave the engine observes drains its pending ownership events
+// (or snapshot-diffs) before the next operation runs.
 func (e *Engine) membershipChanged() {
 	e.epoch++
 	e.sinceMaint++
+	if e.store != nil {
+		e.store.membership()
+	}
 }
 
 // fail records the first hard error; context cancellation wins so Run
@@ -366,6 +391,13 @@ func (e *Engine) runQuery() {
 	}
 	src := e.loadRNG.Intn(n)
 	target := e.sc.Load.target(e.loadRNG)
+	if e.store != nil {
+		// Storage workload: the same two loadRNG draws happened in the
+		// same order, so the churn/load replay format is untouched; the
+		// op mix and key choice draw from the store's own stream.
+		e.store.runOp(e, src, target)
+		return
+	}
 	if e.model != nil {
 		e.startFlight(src, target)
 		return

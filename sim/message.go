@@ -41,6 +41,12 @@ type flight struct {
 	sawLost bool    // a lost (vs unreachable) failure at this hop
 	degrade bool    // retries, fallbacks or detours happened
 	active  bool
+
+	// Storage payload: when op != opNone the flight carries one store
+	// operation, executed on arrival by storeState.completeFlight.
+	op     uint8
+	opKey  keyspace.Key
+	opSpan float64
 }
 
 // candidate is one improving neighbour, identifier-pinned.
@@ -65,6 +71,13 @@ func (e *Engine) allocFlight() int {
 // first step synchronously (building candidates and sending the first
 // hop costs no virtual time).
 func (e *Engine) startFlight(src int, target keyspace.Key) {
+	e.startFlightOp(src, target, opNone, 0)
+}
+
+// startFlightOp is startFlight carrying a storage operation: the
+// flight routes toward the op's locate key and the op executes when
+// the flight arrives.
+func (e *Engine) startFlightOp(src int, target keyspace.Key, op uint8, opSpan float64) {
 	keys := e.ov.Keys()
 	if e.model.Dead(keys[src]) {
 		// A crashed node originates nothing. Redraw a live source a few
@@ -94,6 +107,9 @@ func (e *Engine) startFlight(src int, target keyspace.Key) {
 		cands:   cands,
 		candIdx: -1,
 		active:  true,
+		op:      op,
+		opKey:   target,
+		opSpan:  opSpan,
 	}
 	e.stepFlight(fi)
 }
@@ -267,7 +283,11 @@ func (e *Engine) classifyFlightStop(fi int) {
 // and returns its slot to the free list.
 func (e *Engine) finishFlight(fi int, o overlaynet.Outcome, extra float64) {
 	f := &e.flights[fi]
-	e.rec.queryRobust(e.now, o, f.hops, f.retries, e.now-f.start+extra)
+	hops := f.hops
+	if f.op != opNone && e.store != nil {
+		o, hops = e.store.completeFlight(f, o)
+	}
+	e.rec.queryRobust(e.now, o, hops, f.retries, e.now-f.start+extra)
 	f.active = false
 	e.freeFl = append(e.freeFl, fi)
 }

@@ -117,6 +117,32 @@ var presetFuncs = map[string]func(n int) Scenario{
 			Faults: &netmodel.Config{Loss: 0.01, ByzantineFrac: 0.10},
 		}
 	},
+	// chunks: the channel-style storage workload — large objects split
+	// into sequential chunk keys, written and read in order with a
+	// hot-object skew and seek storms, with range scans fetching runs
+	// of consecutive chunks, all riding steady churn over the
+	// replicated store.
+	"chunks": func(n int) Scenario {
+		return Scenario{
+			Name:     "chunks",
+			Duration: 100,
+			Window:   10,
+			Arrivals: []Arrival{
+				PoissonChurn{JoinRate: churnRate(n, 0.10) / 2, LeaveRate: churnRate(n, 0.10) / 2},
+			},
+			Load: Load{Rate: float64(n) / 10},
+			Store: &StoreScenario{
+				Replicas:   3,
+				Chunks:     true,
+				ValueBytes: 1024,
+				WriteFrac:  0.30,
+				ScanFrac:   0.15,
+				Objects:    48,
+				ChunkCount: 32,
+				SeekFrac:   0.15,
+			},
+		}
+	},
 	// sessions: peers arrive with finite lifetimes drawn from a
 	// truncated-exponential shape (most sessions short, a heavy tail of
 	// long-lived peers), stretched to a mean of roughly two windows.

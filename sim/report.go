@@ -37,6 +37,17 @@ const (
 	SeriesLatP95     = "lat_p95"
 	SeriesLatP99     = "lat_p99"
 	SeriesRetries    = "retries_per_query"
+
+	// Storage-workload series, all zero unless the scenario sets Store:
+	// ops per window, the fraction of oracle-audited reads that observed
+	// a lost acknowledged write, scan correctness against the oracle,
+	// the re-replication backlog at the window edge, and value bytes
+	// moved between nodes for repair during the window.
+	SeriesStoreOps        = "store_ops"
+	SeriesAckedLossRate   = "acked_loss_rate"
+	SeriesScanCorrectness = "scan_correctness"
+	SeriesReplBacklog     = "rerepl_backlog"
+	SeriesBytesMoved      = "bytes_moved"
 )
 
 // Totals aggregates a whole run.
@@ -77,8 +88,52 @@ type Totals struct {
 	Unroutable int `json:"unroutable,omitempty"`
 	Retries    int `json:"retries,omitempty"`
 
+	// Store aggregates the storage workload, nil unless the scenario
+	// set Store.
+	Store *StoreTotals `json:"store,omitempty"`
+
 	hopSum float64
 	latSum float64
+}
+
+// StoreTotals aggregates a run's storage workload: op counts, the
+// durability audit, and the repair economy.
+type StoreTotals struct {
+	Replicas    int   `json:"replicas"`
+	Puts        int64 `json:"puts"`
+	AckedWrites int64 `json:"acked_writes"`
+	Gets        int64 `json:"gets"`
+	Scans       int64 `json:"scans"`
+	// OpsFailed counts storage ops whose locate flight never reached
+	// the data (fault-plane runs only); failed puts write nothing and
+	// are never acknowledged.
+	OpsFailed int64 `json:"ops_failed,omitempty"`
+	// StaleReads counts oracle-audited gets that observed a missing or
+	// older version of an acknowledged write at read time.
+	StaleReads int64 `json:"stale_reads,omitempty"`
+	// ScanMismatches counts scans that missed an acknowledged key (or
+	// returned it stale) against the oracle.
+	ScanMismatches int64 `json:"scan_mismatches,omitempty"`
+	// LostAcked is the end-of-run durability audit: acknowledged writes
+	// no longer readable at their acknowledged stamp from the key's
+	// current replica set. The replication contract is that this stays
+	// zero whenever no more than Replicas-1 nodes fail between repairs.
+	LostAcked int `json:"lost_acked"`
+	// Keys is the number of distinct acknowledged keys.
+	Keys int `json:"keys"`
+
+	ReadRepairs  int64 `json:"read_repairs"`
+	Rereplicated int64 `json:"rereplicated"`
+	Trimmed      int64 `json:"trimmed"`
+	// BytesMoved is value bytes copied between nodes for repair
+	// (handover, read-repair and sweeps); BytesPerChurn divides it by
+	// the run's membership events — the handover price of one churn
+	// event.
+	BytesMoved    int64   `json:"bytes_moved"`
+	BytesPerChurn float64 `json:"bytes_per_churn"`
+	Sweeps        int64   `json:"sweeps"`
+	// BacklogEnd is the re-replication debt left at the end of the run.
+	BacklogEnd int `json:"backlog_end"`
 }
 
 // MeanHops returns the mean hop count over every arrived query.
@@ -234,6 +289,16 @@ func (r *Report) String() string {
 			pct(tot.Arrived-tot.Degraded), pct(tot.Degraded), pct(tot.Timeouts), pct(tot.Unroutable),
 			tot.Retries, tot.MeanLatency(), r.LatencyQuantile(0.95))
 	}
+	if st := r.Totals.Store; st != nil {
+		scanOK := 100.0
+		if st.Scans > 0 {
+			scanOK = 100 * float64(st.Scans-st.ScanMismatches) / float64(st.Scans)
+		}
+		fmt.Fprintf(&b, "store: R=%d, %d keys, %d puts (%d acked, %d lost), %d gets (%d stale), %d scans (%.1f%% correct), %d rereplicated, %d bytes moved (%.0f/churn), backlog %d\n",
+			st.Replicas, st.Keys, st.Puts, st.AckedWrites, st.LostAcked,
+			st.Gets, st.StaleReads, st.Scans, scanOK,
+			st.Rereplicated, st.BytesMoved, st.BytesPerChurn, st.BacklogEnd)
+	}
 	return b.String()
 }
 
@@ -255,7 +320,7 @@ type recorder struct {
 	metered                  bool
 	robust                   bool
 
-	series  [20]metrics.Series
+	series  [25]metrics.Series
 	tot     Totals
 	all     []float64
 	allLats []float64
@@ -280,6 +345,8 @@ func newRecorder(sc Scenario, ov overlaynet.Dynamic) *recorder {
 		SeriesTotalMsgs, SeriesMsgsPerOp,
 		SeriesDegraded, SeriesUnroutable, SeriesLatP50, SeriesLatP95,
 		SeriesLatP99, SeriesRetries,
+		SeriesStoreOps, SeriesAckedLossRate, SeriesScanCorrectness,
+		SeriesReplBacklog, SeriesBytesMoved,
 	} {
 		rec.series[i].Name = name
 		rec.series[i].Points = make([]metrics.Point, 0, windows)
@@ -437,12 +504,30 @@ func (rec *recorder) closeWindow(e *Engine, t float64) {
 		lp95 = metrics.PercentileSorted(rec.sorted, 0.95)
 		lp99 = metrics.PercentileSorted(rec.sorted, 0.99)
 	}
+	storeOps, lossRate, scanOK, backlog, moved := 0.0, 0.0, 0.0, 0.0, 0.0
+	if ss := e.store; ss != nil {
+		storeOps = float64(ss.winOps)
+		if ss.winChecks > 0 {
+			lossRate = float64(ss.winLost) / float64(ss.winChecks)
+		}
+		scanOK = 1
+		if ss.winScans > 0 {
+			scanOK = float64(ss.winScanOK) / float64(ss.winScans)
+		}
+		backlog = float64(ss.st.Backlog())
+		b := ss.st.Stats().BytesMoved
+		moved = float64(b - ss.lastBytes)
+		ss.lastBytes = b
+		ss.winOps, ss.winChecks, ss.winLost = 0, 0, 0
+		ss.winScans, ss.winScanOK = 0, 0
+	}
 
 	for i, v := range []float64{
 		mean, p50, p95, p99, failRate, timeoutRate,
 		float64(rec.winQueries), float64(rec.winJoins), float64(rec.winLeaves),
 		float64(e.ov.N()), float64(e.sinceMaint), float64(dMaint), float64(dTotal), perOp,
 		degRate, unrRate, lp50, lp95, lp99, retPerQ,
+		storeOps, lossRate, scanOK, backlog, moved,
 	} {
 		rec.series[i].Add(t, v)
 	}
@@ -458,7 +543,8 @@ func (rec *recorder) closeWindow(e *Engine, t float64) {
 // final clock, which trails sc.Duration when the run stopped early on
 // error or cancellation — and assembles the Report.
 func (rec *recorder) report(e *Engine) *Report {
-	if rec.winQueries > 0 || rec.winJoins+rec.winLeaves > 0 {
+	if rec.winQueries > 0 || rec.winJoins+rec.winLeaves > 0 ||
+		(e.store != nil && e.store.winOps > 0) {
 		rec.closeWindow(e, e.now)
 	}
 	rec.tot.FinalNodes = e.ov.N()
@@ -466,6 +552,9 @@ func (rec *recorder) report(e *Engine) *Report {
 		total, maint := e.msgr.Messages()
 		rec.tot.TotalMessages = total - rec.startTotal
 		rec.tot.MaintMessages = maint - rec.startMaint
+	}
+	if e.store != nil {
+		rec.tot.Store = e.store.totals()
 	}
 	return &Report{
 		Scenario:  rec.sc.Name,

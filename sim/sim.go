@@ -113,6 +113,18 @@ type Scenario struct {
 	// is set. The zero value means overlaynet.RobustPolicy's documented
 	// defaults.
 	Retry overlaynet.RobustPolicy
+	// Store, when non-nil, runs the replicated range store (package
+	// store) as the scenario's workload: every load event becomes a
+	// storage operation — put, get or ordered range scan — served
+	// through the overlay, with R-way replication, key/value handover
+	// on every membership event, and a durability oracle auditing that
+	// no acknowledged write is lost. Under Faults, each operation first
+	// flies to the data as a per-hop message flight. nil (the default)
+	// keeps the plain routed-lookup load, bit-identical to scenarios
+	// recorded before this field existed; store-side randomness comes
+	// from a stream derived Seed^storeSeedSalt, so adding Store
+	// re-rolls neither churn nor load.
+	Store *StoreScenario
 	// RecordTrace captures the full event sequence into Report.Trace —
 	// the replay witness used by determinism tests. Off by default
 	// because traces grow with every event.
@@ -133,6 +145,12 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	if sc.MinNodes < 2 {
 		sc.MinNodes = 2
+	}
+	// Scenario values must stay reusable across runs, so the shared
+	// Store config is copied before the engine resolves its defaults.
+	if sc.Store != nil {
+		c := *sc.Store
+		sc.Store = &c
 	}
 	// A partition needs a fault plane to cut; a scenario that schedules
 	// one without configuring faults gets an otherwise-perfect plane.
@@ -208,6 +226,13 @@ func (sc Scenario) validate() error {
 			if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
 				return fmt.Errorf("sim: retry %s %v must be finite", f.name, f.v)
 			}
+		}
+	}
+	if sc.Store != nil {
+		// Validate the resolved config: defaulted fields can push a
+		// half-specified op mix past 1.
+		if err := sc.Store.withDefaults().validate(); err != nil {
+			return err
 		}
 	}
 	return nil

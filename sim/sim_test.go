@@ -263,7 +263,7 @@ func TestBernoulliTracePanics(t *testing.T) {
 
 func TestPresetCatalogue(t *testing.T) {
 	names := sim.PresetNames()
-	want := []string{"byzantine", "diurnal", "flashcrowd", "lossy", "massfail",
+	want := []string{"byzantine", "chunks", "diurnal", "flashcrowd", "lossy", "massfail",
 		"partition-heal", "sessions", "steady"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("preset names = %v, want %v", names, want)

@@ -1,0 +1,269 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/sim"
+)
+
+func storeDynamic(t *testing.T, kind string, n int, seed uint64) overlaynet.Dynamic {
+	t.Helper()
+	ctx := context.Background()
+	opts := overlaynet.Options{N: n, Seed: seed, Dist: dist.NewPower(0.7), Topology: keyspace.Ring}
+	switch kind {
+	case "incremental":
+		dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dyn
+	case "protocol":
+		ov, err := overlaynet.Build(ctx, "protocol", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ov.(overlaynet.Dynamic)
+	}
+	t.Fatalf("unknown kind %q", kind)
+	return nil
+}
+
+// TestScenarioStoreSteady runs the storage workload under steady churn:
+// the store totals must be populated, every acknowledged write must
+// survive to the end of the run, and every scan must have matched the
+// durability oracle.
+func TestScenarioStoreSteady(t *testing.T) {
+	sc, err := sim.Preset("steady", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 7
+	sc.Store = &sim.StoreScenario{Replicas: 3}
+	rep, err := sim.Run(context.Background(), storeDynamic(t, "incremental", 64, 11), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Totals.Store
+	if st == nil {
+		t.Fatal("store totals missing")
+	}
+	if st.Replicas != 3 {
+		t.Fatalf("replicas = %d, want 3", st.Replicas)
+	}
+	if st.Puts == 0 || st.Gets == 0 || st.Scans == 0 {
+		t.Fatalf("op mix did not exercise all ops: %+v", st)
+	}
+	if st.AckedWrites != st.Puts {
+		t.Fatalf("fault-free run acked %d of %d puts", st.AckedWrites, st.Puts)
+	}
+	if st.LostAcked != 0 {
+		t.Fatalf("lost %d acked writes under steady churn with R=3", st.LostAcked)
+	}
+	if st.StaleReads != 0 {
+		t.Fatalf("%d stale reads under steady churn with R=3", st.StaleReads)
+	}
+	if st.ScanMismatches != 0 {
+		t.Fatalf("%d scan mismatches under steady churn with R=3", st.ScanMismatches)
+	}
+	if st.Sweeps == 0 {
+		t.Fatal("default sweep schedule never fired")
+	}
+	if rep.Totals.Joins == 0 || rep.Totals.Leaves == 0 {
+		t.Fatalf("churn did not run: %d joins, %d leaves", rep.Totals.Joins, rep.Totals.Leaves)
+	}
+	if st.Rereplicated == 0 || st.BytesMoved == 0 {
+		t.Fatalf("churn repaired nothing: %+v", st)
+	}
+	for _, name := range []string{sim.SeriesStoreOps, sim.SeriesScanCorrectness,
+		sim.SeriesAckedLossRate, sim.SeriesReplBacklog, sim.SeriesBytesMoved} {
+		if rep.Get(name) == nil {
+			t.Fatalf("series %s missing", name)
+		}
+	}
+	if pts := rep.Get(sim.SeriesScanCorrectness).Points; len(pts) > 0 {
+		for _, p := range pts {
+			if p.V != 1 {
+				t.Fatalf("scan correctness dipped to %v at t=%v", p.V, p.T)
+			}
+		}
+	}
+}
+
+// TestScenarioStoreDrainRefill is the handover acceptance test: writes
+// keep flowing while the population drains to the MinNodes floor and
+// then regrows past its starting size. With R=3 and repair between
+// single-node crashes, no acknowledged write may be lost and every scan
+// must match the oracle — through the drain, the trough and the refill.
+func TestScenarioStoreDrainRefill(t *testing.T) {
+	for _, kind := range []string{"incremental", "protocol"} {
+		sc := sim.Scenario{
+			Name: "drain-refill", Duration: 100, Window: 10, Seed: 21,
+			MinNodes: 8,
+			Arrivals: []sim.Arrival{
+				// Drain: the whole population fails from t=10, clamped at
+				// the floor; refill: recovery joins it all back over the
+				// second half of the run.
+				&sim.MassFailure{At: 10, Frac: 1, RecoverOver: 60},
+			},
+			Load:  sim.Load{Rate: 12},
+			Store: &sim.StoreScenario{Replicas: 3},
+		}
+		rep, err := sim.Run(context.Background(), storeDynamic(t, kind, 48, 5), sc)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if rep.Totals.Leaves < 30 || rep.Totals.Joins < 30 {
+			t.Fatalf("%s: drain/refill did not happen: %d leaves, %d joins",
+				kind, rep.Totals.Leaves, rep.Totals.Joins)
+		}
+		if rep.Totals.Rejected == 0 {
+			t.Fatalf("%s: the drain never hit the population floor", kind)
+		}
+		st := rep.Totals.Store
+		if st == nil {
+			t.Fatalf("%s: store totals missing", kind)
+		}
+		if st.LostAcked != 0 {
+			t.Fatalf("%s: lost %d of %d acked keys across drain/refill",
+				kind, st.LostAcked, st.Keys)
+		}
+		if st.StaleReads != 0 || st.ScanMismatches != 0 {
+			t.Fatalf("%s: %d stale reads, %d scan mismatches across drain/refill",
+				kind, st.StaleReads, st.ScanMismatches)
+		}
+		if st.Puts == 0 || st.Scans == 0 {
+			t.Fatalf("%s: workload starved: %+v", kind, st)
+		}
+	}
+}
+
+// TestScenarioStoreChunks runs the chunks preset: the sequential-chunk
+// workload must stay fully correct under churn, and its scans must
+// return data (the whole point of chunk runs).
+func TestScenarioStoreChunks(t *testing.T) {
+	sc, err := sim.Preset("chunks", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 3
+	rep, err := sim.Run(context.Background(), storeDynamic(t, "incremental", 64, 17), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Totals.Store
+	if st == nil {
+		t.Fatal("store totals missing")
+	}
+	if st.LostAcked != 0 || st.StaleReads != 0 || st.ScanMismatches != 0 {
+		t.Fatalf("chunk workload lost data: %+v", st)
+	}
+	if st.Puts == 0 || st.Gets == 0 || st.Scans == 0 {
+		t.Fatalf("chunk op mix incomplete: %+v", st)
+	}
+}
+
+// TestScenarioStoreUnderFaults flies every storage op to its data over
+// a lossy message plane. Operations whose locate flight dies are failed
+// outright — never acknowledged, never written — so durability holds
+// even though some ops fail.
+func TestScenarioStoreUnderFaults(t *testing.T) {
+	sc, err := sim.Preset("lossy", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 9
+	sc.Store = &sim.StoreScenario{Replicas: 3}
+	rep, err := sim.Run(context.Background(), storeDynamic(t, "incremental", 64, 23), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Robust {
+		t.Fatal("lossy run did not fly message flights")
+	}
+	st := rep.Totals.Store
+	if st == nil {
+		t.Fatal("store totals missing")
+	}
+	if st.LostAcked != 0 {
+		t.Fatalf("lost %d acked writes under loss", st.LostAcked)
+	}
+	if st.AckedWrites > st.Puts {
+		t.Fatalf("acked %d > %d puts", st.AckedWrites, st.Puts)
+	}
+	if st.Puts == 0 {
+		t.Fatal("no puts ran")
+	}
+}
+
+// TestScenarioStoreDeterminism pins the replay contract: the same
+// (overlay seed, scenario) pair must reproduce the report JSON byte for
+// byte, store series and totals included.
+func TestScenarioStoreDeterminism(t *testing.T) {
+	run := func() []byte {
+		sc, err := sim.Preset("massfail", 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Seed = 13
+		sc.Store = &sim.StoreScenario{Replicas: 3}
+		rep, err := sim.Run(context.Background(), storeDynamic(t, "incremental", 48, 29), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("identical store runs produced different reports")
+	}
+}
+
+// TestScenarioStoreReplayFormat pins that adding a store to a scenario
+// does not shift the churn/load replay: joins, leaves and population
+// trajectories must be identical with and without Store, point for
+// point — the store draws from its own salted stream.
+func TestScenarioStoreReplayFormat(t *testing.T) {
+	run := func(withStore bool) *sim.Report {
+		sc, err := sim.Preset("steady", 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Seed = 31
+		if withStore {
+			sc.Store = &sim.StoreScenario{Replicas: 3}
+		}
+		rep, err := sim.Run(context.Background(), storeDynamic(t, "incremental", 48, 37), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain, stored := run(false), run(true)
+	if plain.Totals.Joins != stored.Totals.Joins || plain.Totals.Leaves != stored.Totals.Leaves {
+		t.Fatalf("store shifted churn: %d/%d joins, %d/%d leaves",
+			plain.Totals.Joins, stored.Totals.Joins, plain.Totals.Leaves, stored.Totals.Leaves)
+	}
+	if plain.Totals.Queries != stored.Totals.Queries {
+		t.Fatalf("store shifted the load: %d vs %d queries",
+			plain.Totals.Queries, stored.Totals.Queries)
+	}
+	for _, name := range []string{sim.SeriesJoins, sim.SeriesLeaves, sim.SeriesLiveNodes} {
+		a, b := plain.Get(name), stored.Get(name)
+		if len(a.Points) != len(b.Points) {
+			t.Fatalf("series %s: %d vs %d points", name, len(a.Points), len(b.Points))
+		}
+		for i := range a.Points {
+			if a.Points[i] != b.Points[i] {
+				t.Fatalf("series %s point %d: %v vs %v", name, i, a.Points[i], b.Points[i])
+			}
+		}
+	}
+}

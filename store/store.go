@@ -1,0 +1,790 @@
+// Package store is the replicated range-store data plane over the
+// small-world overlay: put/get/scan on keys in [0,1), each key
+// replicated to the R rank-index successors of its responsible node,
+// with key/value handover on churn. Ownership comes from the single
+// shared definition in keyspace.Cell/Owner (the same math behind
+// Network.Cell and overlaynet.OwnedRange), so the store and the overlay
+// can never disagree about who holds what.
+//
+// # Consistency model
+//
+// The store offers per-key ordering and nothing more: every write gets
+// a monotone (epoch, seq) Stamp, replicas converge to the
+// newest-stamped value via read-repair and the anti-entropy Sweep, and
+// a Get returns the newest stamp among the key's current replica set.
+// There are no cross-key transactions, no read-your-writes across
+// membership changes mid-repair, and no durability beyond R-1
+// simultaneous failures: a Leave is a crash (the departed node's copies
+// are gone), and the store immediately re-replicates the affected
+// window from the survivors.
+//
+// # Following the overlay
+//
+// The store reads membership from a Source — anything with a
+// Snapshot() method, typically an overlaynet.Publisher. Two tracking
+// modes:
+//
+//   - Event-driven (Config.EventDriven): the overlay narrates churn as
+//     overlaynet.OwnershipChange events which the caller feeds to
+//     ApplyChange (wire pub.SetOwnershipWatcher(st.ApplyChange)).
+//     Handover is surgical — only the range that changed hands moves.
+//   - Snapshot diff (default): each operation first diffs the current
+//     snapshot's population against the store's member list and
+//     repairs around every arrival and departure it finds.
+//
+// Sweep is the backstop for both: a full anti-entropy pass that
+// re-replicates every under-replicated key and trims copies parked on
+// nodes outside the key's replica set.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+)
+
+// Source supplies the membership views the store places data against.
+// *overlaynet.Publisher implements it; any snapshot holder will do.
+type Source interface {
+	Snapshot() *overlaynet.Snapshot
+}
+
+// Config parameterises a Store.
+type Config struct {
+	// Replicas is R: each key lives on the responsible node and its R-1
+	// rank successors. 0 means the default of 3; populations smaller
+	// than R hold every key everywhere.
+	Replicas int
+	// EventDriven selects the ownership-event tracking mode: membership
+	// changes arrive via ApplyChange instead of snapshot diffing. The
+	// caller must then actually deliver the events (see package doc).
+	EventDriven bool
+}
+
+// DefaultReplicas is R when Config.Replicas is zero.
+const DefaultReplicas = 3
+
+// Stamp is a per-key version: Epoch counts the membership views the
+// store has observed, Seq is a global monotone write counter. Stamps
+// order lexicographically; replicas converge to the largest.
+type Stamp struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// Less orders stamps lexicographically.
+func (a Stamp) Less(b Stamp) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	return a.Seq < b.Seq
+}
+
+// KV is one scanned key/value pair with its version stamp.
+type KV struct {
+	Key   keyspace.Key
+	Val   []byte
+	Stamp Stamp
+}
+
+// Stats counts the store's work since construction. Monotone.
+type Stats struct {
+	Puts         int64 // Put calls
+	AckedWrites  int64 // Puts acknowledged (all in-population replicas written)
+	Gets         int64 // Get calls
+	Scans        int64 // Scan calls
+	ReadRepairs  int64 // replica copies fixed on the read path
+	Rereplicated int64 // replica copies restored by handover/sweep
+	Trimmed      int64 // copies removed from nodes outside the replica set
+	BytesMoved   int64 // value bytes copied between nodes for repair
+	Sweeps       int64 // anti-entropy passes
+}
+
+// PutResult reports one write.
+type PutResult struct {
+	// Acked is true when every replica in the current population took
+	// the write — the durability contract the sim's oracle audits.
+	Acked bool
+	// Stamp is the version the write was assigned.
+	Stamp Stamp
+	// Hops is the overlay cost: the greedy locate route to the
+	// responsible node plus one hop per additional replica.
+	Hops int
+	// Replicas is how many copies were written (min(R, N)).
+	Replicas int
+}
+
+// GetResult reports one read.
+type GetResult struct {
+	Found bool
+	Val   []byte
+	Stamp Stamp
+	// Hops is locate plus one hop per extra replica consulted.
+	Hops int
+	// Repaired counts stale/missing replica copies fixed by this read.
+	Repaired int
+}
+
+// ScanResult reports one ordered range read.
+type ScanResult struct {
+	// KVs holds the newest version of every key in the interval, in
+	// ascending key order along the interval's arc from iv.Lo —
+	// monotone in arc displacement even when the interval wraps the
+	// ring.
+	KVs []KV
+	// Hops is locate plus one successor hop per additional cell walked.
+	Hops int
+	// Cells is how many responsibility cells the walk visited.
+	Cells int
+	// Repaired counts replica copies fixed during the scan.
+	Repaired int
+}
+
+// entry is one stored version.
+type entry struct {
+	val   []byte
+	stamp Stamp
+}
+
+// bucket holds one member node's copies: a sorted key index over a
+// version map. Buckets are keyed by member identifier, not slot index —
+// identifiers are stable across the overlay's slot renames.
+type bucket struct {
+	keys keyspace.Points
+	data map[keyspace.Key]entry
+}
+
+func newBucket() *bucket {
+	return &bucket{data: make(map[keyspace.Key]entry)}
+}
+
+// put stores (k, val, st) unless an equal-or-newer version is already
+// present. Reports whether the copy changed.
+func (b *bucket) put(k keyspace.Key, val []byte, st Stamp) bool {
+	if e, ok := b.data[k]; ok {
+		if !e.stamp.Less(st) {
+			return false
+		}
+		b.data[k] = entry{val: val, stamp: st}
+		return true
+	}
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= k })
+	b.keys = append(b.keys, 0)
+	copy(b.keys[i+1:], b.keys[i:])
+	b.keys[i] = k
+	b.data[k] = entry{val: val, stamp: st}
+	return true
+}
+
+// drop removes k's copy.
+func (b *bucket) drop(k keyspace.Key) {
+	if _, ok := b.data[k]; !ok {
+		return
+	}
+	delete(b.data, k)
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= k })
+	copy(b.keys[i:], b.keys[i+1:])
+	b.keys = b.keys[:len(b.keys)-1]
+}
+
+// appendInRange appends the bucket's keys inside iv to out, walking
+// ascending from iv.Lo with ring wrap.
+func (b *bucket) appendInRange(iv keyspace.Interval, out []keyspace.Key) []keyspace.Key {
+	n := len(b.keys)
+	if n == 0 || iv.Empty() {
+		return out
+	}
+	i := b.keys.Successor(iv.Lo)
+	for step := 0; step < n; step++ {
+		k := b.keys[i]
+		if !iv.Contains(k) {
+			break
+		}
+		out = append(out, k)
+		i++
+		if i == n {
+			i = 0
+		}
+	}
+	return out
+}
+
+// Store is the replicated range store. All methods are safe for
+// concurrent use: one mutex guards the data and membership state, while
+// Source.Snapshot loads stay lock-free on the overlay side.
+type Store struct {
+	mu  sync.Mutex
+	src Source
+	r   int
+	evs bool // event-driven membership tracking
+
+	members keyspace.Points
+	buckets map[keyspace.Key]*bucket
+
+	synced   *overlaynet.Snapshot
+	router   *overlaynet.SnapshotRouter
+	topology keyspace.Topology
+	epoch    uint64 // membership views observed (Stamp.Epoch source)
+	seq      uint64 // global write counter (Stamp.Seq source)
+
+	stats Stats
+}
+
+// New builds a store over src, immediately adopting the current
+// snapshot's population as its member list.
+func New(src Source, cfg Config) (*Store, error) {
+	if src == nil {
+		return nil, fmt.Errorf("store: nil source")
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("store: negative replica count %d", cfg.Replicas)
+	}
+	r := cfg.Replicas
+	if r == 0 {
+		r = DefaultReplicas
+	}
+	s := &Store{
+		src:     src,
+		r:       r,
+		evs:     cfg.EventDriven,
+		buckets: make(map[keyspace.Key]*bucket),
+	}
+	snap := src.Snapshot()
+	if snap == nil {
+		return nil, fmt.Errorf("store: source returned a nil snapshot")
+	}
+	s.adoptLocked(snap)
+	s.members = append(keyspace.Points(nil), snap.SortedKeys()...)
+	for _, k := range s.members {
+		s.buckets[k] = newBucket()
+	}
+	return s, nil
+}
+
+// adoptLocked pins the store to a new snapshot: epoch bump, router
+// rebind, topology refresh. Membership is reconciled separately (diff
+// or events).
+func (s *Store) adoptLocked(snap *overlaynet.Snapshot) {
+	s.synced = snap
+	s.topology = snap.Topology()
+	s.epoch++
+	if s.router == nil {
+		s.router = snap.NewRouter().(*overlaynet.SnapshotRouter)
+	} else {
+		s.router.Rebind(snap)
+	}
+}
+
+// syncLocked observes the source's current snapshot. In diff mode it
+// also reconciles membership: every departure found is treated as a
+// crash (bucket dropped, replication window repaired from survivors)
+// and every arrival gets its owned range handed over.
+func (s *Store) syncLocked() {
+	snap := s.src.Snapshot()
+	if snap == s.synced {
+		return
+	}
+	s.adoptLocked(snap)
+	if s.evs {
+		return // membership arrives via ApplyChange
+	}
+	now := snap.SortedKeys()
+	var gone, fresh []keyspace.Key
+	i, j := 0, 0
+	for i < len(s.members) || j < len(now) {
+		switch {
+		case j == len(now) || (i < len(s.members) && s.members[i] < now[j]):
+			gone = append(gone, s.members[i])
+			i++
+		case i == len(s.members) || now[j] < s.members[i]:
+			fresh = append(fresh, now[j])
+			j++
+		default:
+			i, j = i+1, j+1
+		}
+	}
+	if len(gone) == 0 && len(fresh) == 0 {
+		return
+	}
+	for _, k := range gone {
+		s.removeMemberLocked(k)
+	}
+	for _, k := range fresh {
+		s.addMemberLocked(k)
+	}
+	for _, k := range gone {
+		s.repairDepartureLocked(k)
+	}
+	for _, k := range fresh {
+		s.repairArrivalLocked(k)
+	}
+}
+
+// Sync forces a membership reconciliation against the source's current
+// snapshot (diff mode; in event mode it only rebinds the router).
+func (s *Store) Sync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncLocked()
+}
+
+// ApplyChange consumes one typed ownership event (event-driven mode):
+// a join hands the stolen range to the newcomer, a leave crashes the
+// node and re-replicates its window from the survivors. Idempotent per
+// event — the two changes a leave emits crash the node once.
+func (s *Store) ApplyChange(ch overlaynet.OwnershipChange) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch.Joined {
+		if s.rankOfMemberLocked(ch.Node) >= 0 {
+			return // second flank event of the same join
+		}
+		s.addMemberLocked(ch.Node)
+		s.repairArrivalLocked(ch.Node)
+		return
+	}
+	if s.rankOfMemberLocked(ch.Node) < 0 {
+		return // second flank event of the same leave
+	}
+	s.removeMemberLocked(ch.Node)
+	s.repairDepartureLocked(ch.Node)
+}
+
+// rankOfMemberLocked returns k's rank in the member list, -1 when not a
+// member.
+func (s *Store) rankOfMemberLocked(k keyspace.Key) int {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= k })
+	if i < len(s.members) && s.members[i] == k {
+		return i
+	}
+	return -1
+}
+
+// addMemberLocked inserts a member with an empty bucket.
+func (s *Store) addMemberLocked(k keyspace.Key) {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= k })
+	s.members = append(s.members, 0)
+	copy(s.members[i+1:], s.members[i:])
+	s.members[i] = k
+	if s.buckets[k] == nil {
+		s.buckets[k] = newBucket()
+	}
+}
+
+// removeMemberLocked drops a member and its copies — a leave is a
+// crash; whatever the node held is gone.
+func (s *Store) removeMemberLocked(k keyspace.Key) {
+	i := s.rankOfMemberLocked(k)
+	if i < 0 {
+		return
+	}
+	copy(s.members[i:], s.members[i+1:])
+	s.members = s.members[:len(s.members)-1]
+	delete(s.buckets, k)
+}
+
+// repairWindowLocked re-replicates every key whose replica set involves
+// the member at rank i: keys owned by ranks i-R+1..i (their replica
+// sets extend forward over rank i). This is the window a membership
+// change at rank i perturbs — a departure removed one of their copies,
+// an arrival inserted itself into their replica sets.
+func (s *Store) repairWindowLocked(i int) {
+	n := len(s.members)
+	if n == 0 {
+		return
+	}
+	if n <= s.r {
+		s.repairRangeLocked(keyspace.Interval{Lo: 0, Hi: 1})
+		return
+	}
+	lo := keyspace.Cell(s.topology, s.members, (i-(s.r-1)+n)%n).Lo
+	hi := keyspace.Cell(s.topology, s.members, i).Hi
+	s.repairRangeLocked(keyspace.Interval{Lo: lo, Hi: hi})
+}
+
+// repairDepartureLocked repairs around a departed node. Its cell split
+// across BOTH flanks, so the window anchors at the successor flank —
+// the highest rank whose keys could have counted the departed node as
+// a replica; the R-1 ranks below it (including the pred flank) fall
+// inside the window.
+func (s *Store) repairDepartureLocked(departed keyspace.Key) {
+	n := len(s.members)
+	if n == 0 {
+		return
+	}
+	i := s.members.Successor(departed)
+	if s.topology == keyspace.Line && departed > s.members[n-1] {
+		i = n - 1 // the line's top node left; its pred inherited everything
+	}
+	s.repairWindowLocked(i)
+}
+
+// repairArrivalLocked repairs around a freshly-added member: the
+// newcomer both took over its stolen range and displaced the last
+// replica of every key owned by its R-1 rank predecessors.
+func (s *Store) repairArrivalLocked(added keyspace.Key) {
+	i := s.rankOfMemberLocked(added)
+	if i < 0 {
+		return
+	}
+	s.repairWindowLocked(i)
+}
+
+// replicaRanks returns the ranks holding key k: its owner and the
+// owner's rank successors, min(R, N) of them. On the line the rank
+// order simply wraps like the ring's — replica placement is an index
+// structure, not a routing geometry.
+func (s *Store) replicaRanksLocked(k keyspace.Key, ranks []int) []int {
+	n := len(s.members)
+	if n == 0 {
+		return ranks[:0]
+	}
+	m := s.r
+	if m > n {
+		m = n
+	}
+	own := keyspace.Owner(s.topology, s.members, k)
+	ranks = ranks[:0]
+	for j := 0; j < m; j++ {
+		ranks = append(ranks, (own+j)%n)
+	}
+	return ranks
+}
+
+// repairRangeLocked restores full replication for every key currently
+// stored anywhere inside iv: the newest version found on any member is
+// written to each missing or stale replica. Never trims — Sweep does.
+func (s *Store) repairRangeLocked(iv keyspace.Interval) {
+	if iv.Empty() || len(s.members) == 0 {
+		return
+	}
+	var keys []keyspace.Key
+	for _, m := range s.members {
+		keys = s.buckets[m].appendInRange(iv, keys)
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w := 0
+	for i, k := range keys {
+		if i == 0 || k != keys[w-1] {
+			keys[w] = k
+			w++
+		}
+	}
+	for _, k := range keys[:w] {
+		s.rereplicateKeyLocked(k)
+	}
+}
+
+// rereplicateKeyLocked writes k's newest stored version to every
+// desired replica that is missing it or stale.
+func (s *Store) rereplicateKeyLocked(k keyspace.Key) {
+	var best entry
+	found := false
+	for _, m := range s.members {
+		if e, ok := s.buckets[m].data[k]; ok && (!found || best.stamp.Less(e.stamp)) {
+			best, found = e, true
+		}
+	}
+	if !found {
+		return
+	}
+	var scratch [8]int
+	for _, rk := range s.replicaRanksLocked(k, scratch[:0]) {
+		b := s.buckets[s.members[rk]]
+		if e, ok := b.data[k]; ok && !e.stamp.Less(best.stamp) {
+			continue
+		}
+		b.put(k, best.val, best.stamp)
+		s.stats.Rereplicated++
+		s.stats.BytesMoved += int64(len(best.val))
+	}
+}
+
+// locateLocked routes greedily from slot src toward k on the synced
+// snapshot and returns the hop count; src < 0 (a store-internal caller
+// with no overlay position) costs nothing.
+func (s *Store) locateLocked(src int, k keyspace.Key) int {
+	if src < 0 || s.router == nil {
+		return 0
+	}
+	return s.router.Route(src, k).Hops
+}
+
+// Put writes val under key from overlay slot src (src < 0 skips the
+// locate route). The write is acknowledged only when every replica in
+// the current population took it.
+func (s *Store) Put(src int, key keyspace.Key, val []byte) PutResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncLocked()
+	s.stats.Puts++
+	n := len(s.members)
+	if n == 0 {
+		return PutResult{}
+	}
+	s.seq++
+	st := Stamp{Epoch: s.epoch, Seq: s.seq}
+	res := PutResult{Stamp: st, Hops: s.locateLocked(src, key)}
+	var scratch [8]int
+	ranks := s.replicaRanksLocked(key, scratch[:0])
+	for j, rk := range ranks {
+		s.buckets[s.members[rk]].put(key, val, st)
+		if j > 0 {
+			res.Hops++ // one replication hop per extra copy
+		}
+	}
+	res.Replicas = len(ranks)
+	res.Acked = len(ranks) > 0
+	if res.Acked {
+		s.stats.AckedWrites++
+	}
+	return res
+}
+
+// Get reads key's newest replica from overlay slot src, repairing any
+// stale or missing copies it finds along the way.
+func (s *Store) Get(src int, key keyspace.Key) GetResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncLocked()
+	s.stats.Gets++
+	res := GetResult{Hops: s.locateLocked(src, key)}
+	var scratch [8]int
+	ranks := s.replicaRanksLocked(key, scratch[:0])
+	var best entry
+	for j, rk := range ranks {
+		if j > 0 {
+			res.Hops++
+		}
+		if e, ok := s.buckets[s.members[rk]].data[key]; ok && (!res.Found || best.stamp.Less(e.stamp)) {
+			best = e
+			res.Found = true
+		}
+	}
+	if !res.Found {
+		return res
+	}
+	for _, rk := range ranks {
+		b := s.buckets[s.members[rk]]
+		if e, ok := b.data[key]; !ok || e.stamp.Less(best.stamp) {
+			b.put(key, best.val, best.stamp)
+			res.Repaired++
+			s.stats.ReadRepairs++
+			s.stats.BytesMoved += int64(len(best.val))
+		}
+	}
+	res.Val, res.Stamp = best.val, best.stamp
+	return res
+}
+
+// Scan reads every key in iv from overlay slot src as an ordered walk
+// across responsibility cells: locate the owner of iv.Lo, then follow
+// rank successors until the interval is covered, merging replicas
+// newest-wins (with read-repair) per cell. KVs come back in ascending
+// key order along the arc from iv.Lo, across the ring wrap.
+func (s *Store) Scan(src int, iv keyspace.Interval) ScanResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncLocked()
+	s.stats.Scans++
+	var res ScanResult
+	n := len(s.members)
+	if n == 0 || iv.Empty() {
+		return res
+	}
+	res.Hops = s.locateLocked(src, iv.Lo)
+	length := iv.Length()
+	start := keyspace.Owner(s.topology, s.members, iv.Lo)
+	rank := start
+	var scratch [8]int
+	var cellKeys []keyspace.Key
+	for steps := 0; steps < n; steps++ {
+		res.Cells++
+		cell := keyspace.Cell(s.topology, s.members, rank)
+		// Keys this cell's owner is responsible for, restricted to iv;
+		// every desired replica is consulted so a freshly-crashed owner
+		// does not hide its keys.
+		cellKeys = cellKeys[:0]
+		if !cell.Empty() {
+			ranks := s.replicaRanksLocked(cell.Lo, scratch[:0])
+			for _, rk := range ranks {
+				cellKeys = s.buckets[s.members[rk]].appendInRange(cell, cellKeys)
+			}
+		}
+		sort.Slice(cellKeys, func(i, j int) bool { return cellKeys[i] < cellKeys[j] })
+		for i, k := range cellKeys {
+			if i > 0 && k == cellKeys[i-1] {
+				continue
+			}
+			if !iv.Contains(k) {
+				continue
+			}
+			kranks := s.replicaRanksLocked(k, scratch[:0])
+			var best entry
+			found := false
+			for _, rk := range kranks {
+				if e, ok := s.buckets[s.members[rk]].data[k]; ok && (!found || best.stamp.Less(e.stamp)) {
+					best, found = e, true
+				}
+			}
+			if !found {
+				continue
+			}
+			for _, rk := range kranks {
+				b := s.buckets[s.members[rk]]
+				if e, ok := b.data[k]; !ok || e.stamp.Less(best.stamp) {
+					b.put(k, best.val, best.stamp)
+					res.Repaired++
+					s.stats.ReadRepairs++
+					s.stats.BytesMoved += int64(len(best.val))
+				}
+			}
+			res.KVs = append(res.KVs, KV{Key: k, Val: best.val, Stamp: best.stamp})
+		}
+		var covered float64
+		if s.topology == keyspace.Ring {
+			covered = float64(keyspace.Wrap(float64(cell.Hi) - float64(iv.Lo)))
+			if cell.Hi == iv.Lo {
+				covered = 1 // the walk consumed the whole ring
+			}
+		} else {
+			covered = float64(cell.Hi) - float64(iv.Lo)
+		}
+		if covered >= length {
+			break
+		}
+		next := (rank + 1) % n
+		if next == start || (s.topology == keyspace.Line && next == 0) {
+			break // wrapped the whole ring, or hit the line's top end
+		}
+		rank = next
+		res.Hops++
+	}
+	// Cells are walked in arc order but the first cell may contain keys
+	// below iv.Lo that belong to the interval's far (wrapped) end; a
+	// final sort by arc displacement makes the ordering guarantee
+	// unconditional.
+	sort.SliceStable(res.KVs, func(i, j int) bool {
+		di := float64(keyspace.Wrap(float64(res.KVs[i].Key) - float64(iv.Lo)))
+		dj := float64(keyspace.Wrap(float64(res.KVs[j].Key) - float64(iv.Lo)))
+		return di < dj
+	})
+	return res
+}
+
+// Sweep is the anti-entropy backstop: one full pass that restores every
+// key to full replication on its current replica set and trims copies
+// parked on nodes outside it. Deterministic — keys are visited in
+// ascending order.
+func (s *Store) Sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncLocked()
+	s.stats.Sweeps++
+	keys := s.allKeysLocked()
+	var scratch [8]int
+	for _, k := range keys {
+		s.rereplicateKeyLocked(k)
+		ranks := s.replicaRanksLocked(k, scratch[:0])
+		desired := make(map[keyspace.Key]bool, len(ranks))
+		for _, rk := range ranks {
+			desired[s.members[rk]] = true
+		}
+		for _, m := range s.members {
+			if desired[m] {
+				continue
+			}
+			b := s.buckets[m]
+			if _, ok := b.data[k]; ok {
+				b.drop(k)
+				s.stats.Trimmed++
+			}
+		}
+	}
+}
+
+// allKeysLocked returns every stored key, deduplicated, ascending.
+func (s *Store) allKeysLocked() []keyspace.Key {
+	var keys []keyspace.Key
+	for _, m := range s.members {
+		keys = append(keys, s.buckets[m].keys...)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w := 0
+	for i, k := range keys {
+		if i == 0 || k != keys[w-1] {
+			keys[w] = k
+			w++
+		}
+	}
+	return keys[:w]
+}
+
+// Backlog counts the re-replication debt: (key, replica) placements
+// currently missing or stale. Zero means every key is fully replicated
+// at its newest version. Non-mutating.
+func (s *Store) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	backlog := 0
+	var scratch [8]int
+	for _, k := range s.allKeysLocked() {
+		var best entry
+		found := false
+		for _, m := range s.members {
+			if e, ok := s.buckets[m].data[k]; ok && (!found || best.stamp.Less(e.stamp)) {
+				best, found = e, true
+			}
+		}
+		if !found {
+			continue
+		}
+		for _, rk := range s.replicaRanksLocked(k, scratch[:0]) {
+			if e, ok := s.buckets[s.members[rk]].data[k]; !ok || e.stamp.Less(best.stamp) {
+				backlog++
+			}
+		}
+	}
+	return backlog
+}
+
+// Newest returns the newest stamp held for k on its current replica
+// set — the durability audit primitive: an acknowledged write is lost
+// iff Newest reports an older stamp (or nothing). Non-mutating.
+func (s *Store) Newest(k keyspace.Key) (Stamp, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best Stamp
+	found := false
+	var scratch [8]int
+	for _, rk := range s.replicaRanksLocked(k, scratch[:0]) {
+		if e, ok := s.buckets[s.members[rk]].data[k]; ok && (!found || best.Less(e.stamp)) {
+			best, found = e.stamp, true
+		}
+	}
+	return best, found
+}
+
+// Replicas returns R.
+func (s *Store) Replicas() int { return s.r }
+
+// Members returns the store's current member identifiers, ascending.
+// The slice is a copy.
+func (s *Store) Members() keyspace.Points {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append(keyspace.Points(nil), s.members...)
+}
+
+// Stats returns a copy of the work counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
