@@ -16,6 +16,12 @@
 // -json records every table plus its wall-clock runtime to FILE, the
 // machine-readable baseline format checked in as BENCH_PR<n>.json (see
 // PERFORMANCE.md for the recording workflow).
+//
+// -obs installs the observability plane (package obs) for the whole
+// run: every sim-backed table updates hot-path counters and samples
+// per-query traces. Instrumentation never reads a seeded stream, so
+// tables are bit-identical with and without the flag — diffing a
+// -json baseline recorded each way is the determinism check.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"smallworld/internal/exp"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 )
 
@@ -59,6 +66,7 @@ func main() {
 	list := flag.Bool("list", false, "print registered topologies and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.String("json", "", "also record tables and timings to this JSON file")
+	obsFlag := flag.Bool("obs", false, "run with the observability plane installed (counters + sampled tracing on every sim-backed table; tables must be bit-identical either way)")
 	flag.Parse()
 
 	if *list {
@@ -78,6 +86,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "swbench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *obsFlag {
+		exp.SetObs(obs.NewRegistry(), obs.NewTracer(obs.TracerConfig{}))
 	}
 
 	want := map[string]bool{}

@@ -57,6 +57,16 @@
 //	swsim -serve steady [-topology smallworld-skewed] [-n 65536] \
 //	      [-workers 8] [-serve-duration 2s] [-dynamic incremental] \
 //	      [-sim-json report.json] [-sim-csv report.csv]
+//
+// Both scenario and serve mode can run under the observability plane
+// (package obs): -obs-addr exposes live Prometheus text /metrics,
+// expvar and net/http/pprof for the duration of the run, -trace-out
+// dumps sampled per-query hop traces in Chrome trace-event format
+// (load in chrome://tracing or ui.perfetto.dev), and -trace-sample
+// tunes the 1-in-N sampling gate:
+//
+//	swsim -serve steady -n 65536 -serve-duration 60s -obs-addr :9090
+//	swsim -scenario lossy -n 512 -trace-out traces.json -trace-sample 64
 package main
 
 import (
@@ -71,6 +81,7 @@ import (
 	"smallworld/keyspace"
 	"smallworld/metrics"
 	"smallworld/netmodel"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 	"smallworld/sim"
 )
@@ -103,6 +114,9 @@ func main() {
 	replicas := flag.Int("replicas", 0, "scenario mode: store replica count R (0 = default 3; implies -store)")
 	simJSON := flag.String("sim-json", "", "write the scenario report as JSON to this file")
 	simCSV := flag.String("sim-csv", "", "write the scenario series as CSV to this file")
+	obsAddr := flag.String("obs-addr", "", "serve live /metrics, expvar and /debug/pprof on this address for the run, e.g. :9090")
+	traceOut := flag.String("trace-out", "", "write sampled query traces as Chrome trace-event JSON to this file (scenario and serve modes)")
+	traceSample := flag.Int("trace-sample", 0, "trace sampling gate: keep 1 in N queries (0 = default 128)")
 	flag.Parse()
 
 	if *list {
@@ -196,6 +210,33 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 
+	// Observability side-plane shared by -scenario and -serve: a counter
+	// registry (exported live when -obs-addr is set) plus a sampled
+	// tracer when a trace dump was asked for. Neither perturbs a seeded
+	// run — instrumentation reads no random stream.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *obsAddr != "" || *traceOut != "" || *traceSample > 0 {
+		reg = obs.NewRegistry()
+	}
+	if *traceOut != "" || *traceSample > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{Sample: *traceSample})
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			die(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving /metrics, /debug/vars and /debug/pprof on http://%s\n", srv.Addr())
+	}
+	dumpTraces := func() {
+		if *traceOut == "" {
+			return
+		}
+		writeReport(*traceOut, func(f *os.File) error { return tracer.WriteChrome(f) })
+	}
+
 	if *serve != "" {
 		if *serve == "list" {
 			for _, name := range sim.ServePresetNames() {
@@ -217,6 +258,7 @@ func main() {
 			// re-derived by sim.Serve's own defaulting.
 			cfg.Duration = *serveDuration
 		}
+		cfg.Obs, cfg.Tracer = reg, tracer
 		pub, err := overlaynet.NewPublisher(buildDynamic())
 		if err != nil {
 			die(err)
@@ -228,6 +270,7 @@ func main() {
 		fmt.Print(report)
 		writeReport(*simJSON, func(f *os.File) error { return report.WriteJSON(f) })
 		writeReport(*simCSV, func(f *os.File) error { return report.WriteCSV(f) })
+		dumpTraces()
 		return
 	}
 
@@ -251,6 +294,7 @@ func main() {
 		sc.Seed = *seed
 		sc.Load.Target = sim.DataTargets(d)
 		sc.FaultSeed = *faultSeed
+		sc.Obs, sc.Tracer = reg, tracer
 		if *loss >= 0 || *faults >= 0 {
 			if sc.Faults == nil {
 				sc.Faults = &netmodel.Config{}
@@ -293,6 +337,7 @@ func main() {
 		fmt.Print(report)
 		writeReport(*simJSON, func(f *os.File) error { return report.WriteJSON(f) })
 		writeReport(*simCSV, func(f *os.File) error { return report.WriteCSV(f) })
+		dumpTraces()
 		return
 	}
 

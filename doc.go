@@ -60,7 +60,12 @@
 //     (epoch, seq) stamps, ordered scans with read-repair, and
 //     key/value handover on churn (event-driven from OwnershipChange
 //     where the overlay narrates membership, snapshot diffing
-//     otherwise, anti-entropy sweeps as the backstop).
+//     otherwise, anti-entropy sweeps as the backstop);
+//   - obs — the observability plane: sharded hot-path counters,
+//     fixed-bucket base-2 histograms, deterministic 1-in-N query
+//     tracing with Chrome trace-event export, and a live endpoint
+//     (Prometheus /metrics, expvar, net/http/pprof); zero measurable
+//     overhead when off, bit-identical runs when on.
 //
 // The comparison baselines themselves (internal/dht/*, internal/
 // wattsstrogatz, internal/overlay) and the experiment harness

@@ -3,7 +3,9 @@
 // steady Poisson churn, a flash crowd, and a correlated mass failure
 // with maintenance-assisted recovery — while a query load routes
 // concurrently in virtual time. Every run is deterministic: rerun this
-// program and every table reproduces bit-identically.
+// program and every table reproduces bit-identically — including the
+// final run, which executes under the observability plane (package
+// obs) and dumps its worst-latency query as a Chrome trace.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"os"
 
 	"smallworld/dist"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 	"smallworld/sim"
 )
@@ -76,4 +79,42 @@ func main() {
 	if err := report.WriteCSV(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+
+	// Observability: rerun the hostile "lossy" preset with a metrics
+	// registry and a per-query tracer installed. Instrumentation never
+	// touches a seeded stream, so the report is bit-identical to an
+	// uninstrumented run; afterwards the worst-latency sampled query is
+	// dumped in Chrome trace-event format (chrome://tracing,
+	// ui.perfetto.dev) — every hop, timeout and retry it paid.
+	lossy, err := sim.Preset("lossy", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lossy.Seed = 7
+	lossy.Load.Target = sim.DataTargets(f)
+	lossy.Obs = obs.NewRegistry()
+	lossy.Tracer = obs.NewTracer(obs.TracerConfig{Sample: 16})
+	if _, err := sim.Run(ctx, build(3), lossy); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlossy run under obs: %d queries, %d retries, p95 virtual latency %.2f\n",
+		lossy.Obs.RouteQueries.Value(), lossy.Obs.RouteRetries.Value(),
+		lossy.Obs.VirtLatency.Quantile(0.95))
+	worst, ok := lossy.Tracer.Worst()
+	if !ok {
+		log.Fatal("no sampled trace finished")
+	}
+	fmt.Printf("worst sampled query: op=%s outcome=%s latency=%.2f spans=%d\n",
+		worst.Op, worst.Outcome, worst.Latency(), len(worst.Spans))
+	out, err := os.Create("churnlab-worst-trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(out, 0, worst); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote churnlab-worst-trace.json")
 }

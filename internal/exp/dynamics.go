@@ -79,7 +79,7 @@ func E19ChurnDynamics(scale Scale, seed uint64) Table {
 					sim.PoissonChurn{JoinRate: rate / 2, LeaveRate: rate / 2},
 				}
 			}
-			rep, err := sim.Run(ctx, ov, sc)
+			rep, err := sim.Run(ctx, ov, instrument(sc))
 			if err != nil {
 				t.AddNote("%s at churn %.0f%%: %v", dr.name, 100*churn, err)
 				continue

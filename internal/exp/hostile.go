@@ -62,7 +62,7 @@ func E22HostileNetwork(scale Scale, seed uint64) Table {
 					Faults: &netmodel.Config{Loss: loss, DeadFrac: dead},
 					Retry:  overlaynet.RobustPolicy{Retries: retries},
 				}
-				rep, err := sim.Run(ctx, ov, sc)
+				rep, err := sim.Run(ctx, ov, instrument(sc))
 				if err != nil {
 					t.AddNote("loss %.0f%% dead %.0f%% retries %d: %v",
 						100*loss, 100*dead, retries, err)
@@ -101,7 +101,7 @@ func E22HostileNetwork(scale Scale, seed uint64) Table {
 		return t
 	}
 	sc.Seed = seed
-	rep, err := sim.Run(ctx, ov, sc)
+	rep, err := sim.Run(ctx, ov, instrument(sc))
 	if err != nil {
 		t.AddNote("partition-heal run: %v", err)
 		return t

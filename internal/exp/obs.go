@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"smallworld/obs"
+	"smallworld/sim"
+)
+
+// The experiment driver can run its sim-backed tables (dynamics,
+// hostile, store, serving) under the observability plane: SetObs
+// installs a shared registry/tracer that every sim.Run and sim.Serve
+// call site threads into its scenario. This is how the determinism
+// guard exercises instrumentation at table scale — E-tables must stay
+// bit-identical with a registry installed, because obs never reads a
+// seeded stream.
+var (
+	obsReg    *obs.Registry
+	obsTracer *obs.Tracer
+)
+
+// SetObs installs the registry and optional tracer consulted by every
+// scenario the suite runs. Pass (nil, nil) to detach.
+func SetObs(reg *obs.Registry, tracer *obs.Tracer) {
+	obsReg, obsTracer = reg, tracer
+}
+
+// instrument threads the installed plane into a virtual-time scenario.
+func instrument(sc sim.Scenario) sim.Scenario {
+	sc.Obs, sc.Tracer = obsReg, obsTracer
+	return sc
+}
+
+// instrumentServe threads the installed plane into a serving config.
+func instrumentServe(cfg sim.ServeConfig) sim.ServeConfig {
+	cfg.Obs, cfg.Tracer = obsReg, obsTracer
+	return cfg
+}

@@ -56,13 +56,13 @@ func E21ServeUnderChurn(scale Scale, seed uint64) Table {
 					t.AddNote("publisher failed for N=%d: %v", n, err)
 					continue
 				}
-				rep, err := sim.Serve(ctx, pub, sim.ServeConfig{
+				rep, err := sim.Serve(ctx, pub, instrumentServe(sim.ServeConfig{
 					Name: "e21", Workers: workers,
 					Duration: duration, Window: duration / 3,
 					ChurnRate: churnFrac * float64(n),
 					Seed:      seed + 31*uint64(workers),
 					Target:    sim.DataTargets(d),
-				})
+				}))
 				if err != nil {
 					t.AddNote("serve failed for N=%d workers=%d: %v", n, workers, err)
 					continue

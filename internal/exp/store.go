@@ -63,7 +63,7 @@ func E23ReplicatedStore(scale Scale, seed uint64) Table {
 			sc.Store = &sim.StoreScenario{}
 		}
 		sc.Store.Replicas = row.replicas
-		rep, err := sim.Run(ctx, dyn, sc)
+		rep, err := sim.Run(ctx, dyn, instrument(sc))
 		if err != nil {
 			t.AddNote("%s run: %v", row.preset, err)
 			continue

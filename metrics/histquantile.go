@@ -1,0 +1,47 @@
+package metrics
+
+// HistogramQuantile returns the approximate p-quantile (0 <= p <= 1) of
+// a bucketed histogram: bounds[i] is bucket i's inclusive upper bound
+// in ascending order, counts[i] is the bucket's own (non-cumulative)
+// count, and overflow counts samples above the last bound. The estimate
+// interpolates linearly within the winning bucket (the bucket's lower
+// bound is the previous bound, or 0 for the first bucket); overflow
+// samples resolve to the last bound. An empty histogram returns 0.
+//
+// This is the exposition-side companion of the hot-path base-2
+// histograms in package obs: updates there are one atomic add, and the
+// quantile math — needed only when a human or a scraper asks — lives
+// here with the other statistical helpers.
+func HistogramQuantile(bounds []float64, counts []uint64, overflow uint64, p float64) float64 {
+	if len(bounds) == 0 || len(counts) != len(bounds) {
+		return 0
+	}
+	total := overflow
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum float64
+	for i, c := range counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(bounds[i]-lo)
+		}
+		cum = next
+	}
+	return bounds[len(bounds)-1]
+}

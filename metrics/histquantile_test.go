@@ -1,0 +1,55 @@
+package metrics
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+
+	// Degenerate inputs: empty or mismatched slices, no samples.
+	if got := HistogramQuantile(nil, nil, 0, 0.5); got != 0 {
+		t.Errorf("empty bounds: got %g, want 0", got)
+	}
+	if got := HistogramQuantile(bounds, []uint64{1, 2}, 0, 0.5); got != 0 {
+		t.Errorf("mismatched lengths: got %g, want 0", got)
+	}
+	if got := HistogramQuantile(bounds, []uint64{0, 0, 0, 0}, 0, 0.5); got != 0 {
+		t.Errorf("zero total: got %g, want 0", got)
+	}
+
+	// All mass in one bucket: interpolation spans that bucket's range,
+	// with the first bucket's lower edge at 0.
+	counts := []uint64{10, 0, 0, 0}
+	if got := HistogramQuantile(bounds, counts, 0, 0.5); got != 0.5 {
+		t.Errorf("first-bucket median: got %g, want 0.5", got)
+	}
+	counts = []uint64{0, 0, 10, 0}
+	if got := HistogramQuantile(bounds, counts, 0, 0.5); got != 3 {
+		t.Errorf("(2,4] median: got %g, want 3", got)
+	}
+
+	// Mass split across buckets: 50 samples in (0,1], 50 in (2,4].
+	// p=0.25 sits at rank 25, halfway through the first bucket.
+	counts = []uint64{50, 0, 50, 0}
+	if got := HistogramQuantile(bounds, counts, 0, 0.25); got != 0.5 {
+		t.Errorf("p=0.25: got %g, want 0.5", got)
+	}
+	// p=0.75 is rank 75: 25 into the 50-count (2,4] bucket.
+	if got := HistogramQuantile(bounds, counts, 0, 0.75); got != 3 {
+		t.Errorf("p=0.75: got %g, want 3", got)
+	}
+
+	// Quantiles that land in overflow resolve to the last bound.
+	counts = []uint64{10, 0, 0, 0}
+	if got := HistogramQuantile(bounds, counts, 90, 0.5); got != 8 {
+		t.Errorf("overflow-dominated median: got %g, want last bound 8", got)
+	}
+
+	// p outside [0,1] clamps.
+	counts = []uint64{0, 0, 10, 0}
+	if got := HistogramQuantile(bounds, counts, 0, -3); got != 2 {
+		t.Errorf("p<0: got %g, want bucket lower edge 2", got)
+	}
+	if got := HistogramQuantile(bounds, counts, 0, 7); got != 4 {
+		t.Errorf("p>1: got %g, want bucket upper bound 4", got)
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"smallworld/dist"
 	"smallworld/keyspace"
+	"smallworld/obs"
 	"smallworld/xrand"
 )
 
@@ -220,6 +221,12 @@ type Model struct {
 
 	part  partitionState
 	epoch epochCounter
+
+	// Observability installed by SetObs: message-plane counters and the
+	// per-delivery latency histogram. Updated from values Send computed
+	// anyway — never a draw, never a decision.
+	obsReg  *obs.Registry
+	obsHint obs.Hint
 }
 
 // New returns a fault plane driven by cfg, with every random choice
@@ -295,10 +302,36 @@ func (m *Model) Misroute(k keyspace.Key) bool {
 	return m.rng.Bool(m.cfg.Misroute)
 }
 
+// SetObs installs a metrics registry: every Send then counts into the
+// message-plane family (sends, losses, unreachables) and feeds the
+// delivered-latency histogram. Instrumentation reads values Send
+// computed anyway — installing it cannot move a single RNG draw. Pass
+// nil to switch it off.
+func (m *Model) SetObs(reg *obs.Registry) {
+	m.obsReg = reg
+	m.obsHint = reg.NextHint()
+}
+
 // Send passes one message from the node holding identifier `from` to
 // the node holding `to` through the fault plane and returns its fate.
 // NOT safe for concurrent use.
 func (m *Model) Send(from, to keyspace.Key) Delivery {
+	d := m.send(from, to)
+	if reg := m.obsReg; reg != nil {
+		reg.NetSends.Inc(m.obsHint)
+		switch d.Status {
+		case SendOK:
+			reg.NetLatency.Observe(d.Latency)
+		case SendLost:
+			reg.NetLost.Inc(m.obsHint)
+		case SendUnreachable:
+			reg.NetUnreachable.Inc(m.obsHint)
+		}
+	}
+	return d
+}
+
+func (m *Model) send(from, to keyspace.Key) Delivery {
 	if m.Dead(from) || m.Dead(to) {
 		return Delivery{Status: SendUnreachable}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"smallworld/graph"
 	"smallworld/keyspace"
+	"smallworld/obs"
 	"smallworld/xrand"
 )
 
@@ -32,6 +33,11 @@ type Network struct {
 	g   *graph.Graph
 
 	routers sync.Pool // *Router scratch for the allocating convenience API
+
+	// Observability installed by SetObs; inherited by routers created
+	// after the call (see obsrouter.go).
+	obsReg    *obs.Registry
+	obsTracer *obs.Tracer
 }
 
 // Build constructs the overlay described by cfg. The same cfg and seed

@@ -1,0 +1,78 @@
+package obs_test
+
+import (
+	"testing"
+
+	"smallworld/obs"
+)
+
+// The package's performance contract, benched in isolation: a counter
+// add is one sharded atomic, a histogram observation two atomics plus a
+// Frexp, an unsampled trace gate one modular increment — and none of
+// them allocate. ReportAllocs on every bench makes a regression fail
+// the PERFORMANCE.md sweep visibly.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.NextHint()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.RouteQueries.Add(h, 1)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		h := reg.NextHint()
+		for pb.Next() {
+			reg.RouteQueries.Add(h, 1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.HopsPerQuery.Observe(float64(i & 63))
+	}
+}
+
+func BenchmarkSamplerUnsampled(b *testing.B) {
+	// Sample rate above b.N's practical range on the sampled path is not
+	// the point — this measures the common case, the 127-in-128 queries
+	// that only pay the modular gate.
+	tracer := obs.NewTracer(obs.TracerConfig{Sample: 1 << 30})
+	s := tracer.NewSampler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr := s.Start("bench", 0, 0, 0); tr != nil {
+			tracer.Finish(tr, 0, "ok")
+		}
+	}
+}
+
+func BenchmarkTraceSampled(b *testing.B) {
+	// Every query sampled: acquire, record a few spans, finish. Pooled
+	// buffers mean steady-state zero allocations even at Sample=1.
+	tracer := obs.NewTracer(obs.TracerConfig{Sample: 1})
+	s := tracer.NewSampler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := s.Start("bench", 1, 0.5, 0)
+		for h := 0; h < 6; h++ {
+			tr.Hop(float64(h), 1, int32(h), 0, 0, obs.SpanHop, 0.25)
+		}
+		tracer.Finish(tr, 6, "arrived")
+	}
+}
+
+func BenchmarkNilTraceHop(b *testing.B) {
+	var tr *obs.Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Hop(0, 0, 0, 0, 0, obs.SpanHop, 0)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the exposition side of the registry: the Prometheus text
+// format (WriteMetrics) and the expvar-shaped snapshot map (Snapshot).
+// Exposition walks a static descriptor table, so adding a metric family
+// to Registry means adding one row here — the hot-path structs carry no
+// per-metric metadata.
+
+// metricKind discriminates descriptor rows.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// desc is one exposition row.
+type desc struct {
+	name string
+	help string
+	kind metricKind
+	c    func(r *Registry) *Counter
+	g    func(r *Registry) *Gauge
+	h    func(r *Registry) *Histogram
+	// labeled counters (one series per label value).
+	labels []string
+	lc     func(r *Registry, i int) *Counter
+}
+
+// outcomeLabels mirrors overlaynet.Outcome order; obs cannot import
+// overlaynet (it is imported by it), so the order is pinned here and by
+// TestOutcomeLabelOrder in the overlaynet package.
+var outcomeLabels = []string{"delivered", "degraded", "timeout", "unroutable"}
+
+var descs = []desc{
+	{name: "smallworld_route_queries_total", help: "Queries routed (all planes).", kind: kindCounter, c: func(r *Registry) *Counter { return &r.RouteQueries }},
+	{name: "smallworld_route_hops_total", help: "Hops taken by routed queries.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.RouteHops }},
+	{name: "smallworld_route_failures_total", help: "Queries that failed to arrive.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.RouteFailures }},
+	{name: "smallworld_route_retries_total", help: "Per-hop resends beyond first attempts.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.RouteRetries }},
+	{name: "smallworld_route_outcomes_total", help: "Robustly routed queries by typed outcome.", kind: kindCounter,
+		labels: outcomeLabels, lc: func(r *Registry, i int) *Counter { return &r.RouteOutcomes[i] }},
+	{name: "smallworld_route_hops", help: "Hops per arrived query.", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.HopsPerQuery }},
+	{name: "smallworld_route_latency_us", help: "Wall-clock query latency, microseconds (serving path).", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.LatencyUs }},
+	{name: "smallworld_route_virtual_latency", help: "Virtual-time query latency (sim / robust routing).", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.VirtLatency }},
+
+	{name: "smallworld_publish_epochs_total", help: "Snapshots published.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.PublishEpochs }},
+	{name: "smallworld_snapshot_epoch", help: "Current publication epoch.", kind: kindGauge, g: func(r *Registry) *Gauge { return &r.SnapEpoch }},
+	{name: "smallworld_snapshot_nodes", help: "Published population.", kind: kindGauge, g: func(r *Registry) *Gauge { return &r.SnapNodes }},
+	{name: "smallworld_snapshot_dead", help: "Mask-dead slots in the published snapshot.", kind: kindGauge, g: func(r *Registry) *Gauge { return &r.SnapDead }},
+	{name: "smallworld_serve_qps", help: "Queries per second over the last closed serving window.", kind: kindGauge, g: func(r *Registry) *Gauge { return &r.ServeQPS }},
+
+	{name: "smallworld_sim_queue_depth", help: "Event-queue depth sampled at window edges.", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.QueueDepth }},
+	{name: "smallworld_sim_flights_active", help: "Message flights currently in the air.", kind: kindGauge, g: func(r *Registry) *Gauge { return &r.FlightsActive }},
+
+	{name: "smallworld_store_puts_total", help: "Store Put calls.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StorePuts }},
+	{name: "smallworld_store_acked_writes_total", help: "Puts acknowledged by every replica.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreAcked }},
+	{name: "smallworld_store_gets_total", help: "Store Get calls.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreGets }},
+	{name: "smallworld_store_scans_total", help: "Store Scan calls.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreScans }},
+	{name: "smallworld_store_read_repairs_total", help: "Replica copies fixed on the read path.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreReadRepairs }},
+	{name: "smallworld_store_rereplicated_total", help: "Replica copies restored by handover or sweep.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreRereplicated }},
+	{name: "smallworld_store_trimmed_total", help: "Copies removed from nodes outside the replica set.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreTrimmed }},
+	{name: "smallworld_store_sweeps_total", help: "Anti-entropy passes.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreSweeps }},
+	{name: "smallworld_store_bytes_moved_total", help: "Value bytes copied between nodes for repair.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.StoreBytesMoved }},
+	{name: "smallworld_store_op_hops", help: "Overlay hops per store operation.", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.StoreOpHops }},
+
+	{name: "smallworld_net_sends_total", help: "Messages offered to the fault plane.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.NetSends }},
+	{name: "smallworld_net_lost_total", help: "Messages the fault plane lost.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.NetLost }},
+	{name: "smallworld_net_unreachable_total", help: "Sends to dead or partitioned endpoints.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.NetUnreachable }},
+	{name: "smallworld_net_link_latency", help: "Per-delivery link latency (virtual time).", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.NetLatency }},
+}
+
+// WriteMetrics writes the registry in Prometheus text exposition format
+// (version 0.0.4): # HELP and # TYPE per family, cumulative le-labelled
+// buckets plus _sum and _count per histogram. Safe to call concurrently
+// with hot-path updates — each cell is read atomically, and a scrape is
+// a consistent-enough snapshot for monitoring (Prometheus semantics).
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, d := range descs {
+		fmt.Fprintf(&b, "# HELP %s %s\n", d.name, d.help)
+		switch d.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", d.name)
+			if d.labels != nil {
+				for i, lv := range d.labels {
+					fmt.Fprintf(&b, "%s{outcome=%q} %d\n", d.name, lv, d.lc(r, i).Value())
+				}
+			} else {
+				fmt.Fprintf(&b, "%s %d\n", d.name, d.c(r).Value())
+			}
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", d.name)
+			fmt.Fprintf(&b, "%s %d\n", d.name, d.g(r).Value())
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", d.name)
+			writeHistogram(&b, d.name, d.h(r))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits one histogram family: cumulative buckets with
+// each bound formatted shortest-round-trip, then +Inf, _sum and _count.
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	buckets, over := h.Snapshot()
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name,
+			strconv.FormatFloat(BucketBound(i), 'g', -1, 64), cum)
+	}
+	cum += over
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count %d\n", name, cum)
+}
+
+// Snapshot returns the registry as a plain map — counters and gauges by
+// metric name, histograms as {count, sum, p50, p95, p99} submaps. This
+// is what the expvar endpoint publishes; it is also convenient for
+// tests and ad-hoc dumps.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any, len(descs))
+	for _, d := range descs {
+		switch d.kind {
+		case kindCounter:
+			if d.labels != nil {
+				m := make(map[string]uint64, len(d.labels))
+				for i, lv := range d.labels {
+					m[lv] = d.lc(r, i).Value()
+				}
+				out[d.name] = m
+			} else {
+				out[d.name] = d.c(r).Value()
+			}
+		case kindGauge:
+			out[d.name] = d.g(r).Value()
+		case kindHistogram:
+			h := d.h(r)
+			out[d.name] = map[string]any{
+				"count": h.Count(),
+				"sum":   h.Sum(),
+				"p50":   h.Quantile(0.50),
+				"p95":   h.Quantile(0.95),
+				"p99":   h.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smallworld/obs"
+)
+
+// promSample is one parsed exposition line: name, optional single label
+// value, numeric value.
+type promSample struct {
+	name  string
+	label string // the le="..." or outcome="..." value, if any
+	value float64
+}
+
+// parseProm is a small exposition-format parser: it checks the comment
+// discipline (# HELP then # TYPE before each family's samples) and
+// returns every sample line split into name/label/value. It fails the
+// test on any line it cannot parse.
+func parseProm(t *testing.T, r io.Reader) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = make(map[string]string)
+	help := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("HELP without text: %q", line)
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("TYPE without kind: %q", line)
+			}
+			if !help[name] {
+				t.Errorf("TYPE before HELP for %s", name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		nameAndLabels, valStr, found := strings.Cut(line, " ")
+		if !found {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		s := promSample{name: nameAndLabels, value: val}
+		if open := strings.IndexByte(nameAndLabels, '{'); open >= 0 {
+			s.name = nameAndLabels[:open]
+			labels := strings.TrimSuffix(nameAndLabels[open+1:], "}")
+			_, quoted, found := strings.Cut(labels, "=")
+			if !found {
+				t.Fatalf("malformed label set in %q", line)
+			}
+			unq, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("malformed label value in %q: %v", line, err)
+			}
+			s.label = unq
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+func TestWriteMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.NextHint()
+	reg.RouteQueries.Add(h, 100)
+	reg.RouteOutcomes[0].Add(h, 40)
+	reg.RouteOutcomes[1].Add(h, 30)
+	reg.RouteOutcomes[2].Add(h, 20)
+	reg.RouteOutcomes[3].Add(h, 10)
+	reg.SnapNodes.Set(256)
+	reg.HopsPerQuery.Observe(-1)          // underflow → first bucket
+	reg.HopsPerQuery.Observe(3)           // finite bucket
+	reg.HopsPerQuery.Observe(math.Inf(1)) // overflow → only +Inf
+
+	var buf bytes.Buffer
+	if err := reg.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseProm(t, bytes.NewReader(buf.Bytes()))
+
+	byName := make(map[string][]promSample)
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+
+	if got := types["smallworld_route_queries_total"]; got != "counter" {
+		t.Errorf("route_queries TYPE = %q, want counter", got)
+	}
+	if got := byName["smallworld_route_queries_total"][0].value; got != 100 {
+		t.Errorf("route_queries = %g, want 100", got)
+	}
+	if got := types["smallworld_snapshot_nodes"]; got != "gauge" {
+		t.Errorf("snapshot_nodes TYPE = %q, want gauge", got)
+	}
+	if got := byName["smallworld_snapshot_nodes"][0].value; got != 256 {
+		t.Errorf("snapshot_nodes = %g, want 256", got)
+	}
+
+	// Labeled counter: one series per outcome, exposition order pinned.
+	outcomes := byName["smallworld_route_outcomes_total"]
+	wantLabels := []string{"delivered", "degraded", "timeout", "unroutable"}
+	wantValues := []float64{40, 30, 20, 10}
+	if len(outcomes) != len(wantLabels) {
+		t.Fatalf("outcome series = %d, want %d", len(outcomes), len(wantLabels))
+	}
+	for i, s := range outcomes {
+		if s.label != wantLabels[i] || s.value != wantValues[i] {
+			t.Errorf("outcome[%d] = {%s %g}, want {%s %g}",
+				i, s.label, s.value, wantLabels[i], wantValues[i])
+		}
+	}
+
+	// Histogram: cumulative non-decreasing le buckets, +Inf == _count,
+	// underflow visible in the first bucket, overflow only in +Inf.
+	if got := types["smallworld_route_hops"]; got != "histogram" {
+		t.Errorf("route_hops TYPE = %q, want histogram", got)
+	}
+	buckets := byName["smallworld_route_hops_bucket"]
+	if len(buckets) != obs.HistBuckets+1 {
+		t.Fatalf("route_hops buckets = %d, want %d", len(buckets), obs.HistBuckets+1)
+	}
+	prev := -1.0
+	prevBound := math.Inf(-1)
+	for i, b := range buckets {
+		var bound float64
+		if b.label == "+Inf" {
+			if i != len(buckets)-1 {
+				t.Fatalf("+Inf bucket not last (index %d)", i)
+			}
+			bound = math.Inf(1)
+		} else {
+			var err error
+			bound, err = strconv.ParseFloat(b.label, 64)
+			if err != nil {
+				t.Fatalf("unparseable le bound %q: %v", b.label, err)
+			}
+			if want := obs.BucketBound(i); bound != want {
+				t.Errorf("bucket %d bound = %g, want %g", i, bound, want)
+			}
+		}
+		if bound <= prevBound {
+			t.Errorf("le bounds not increasing at %d: %g after %g", i, bound, prevBound)
+		}
+		if b.value < prev {
+			t.Errorf("cumulative count decreases at le=%q: %g after %g", b.label, b.value, prev)
+		}
+		prev, prevBound = b.value, bound
+	}
+	if first := buckets[0].value; first != 1 {
+		t.Errorf("first bucket = %g, want 1 (folded underflow)", first)
+	}
+	count := byName["smallworld_route_hops_count"][0].value
+	if count != 3 {
+		t.Errorf("_count = %g, want 3", count)
+	}
+	if inf := buckets[len(buckets)-1].value; inf != count {
+		t.Errorf("+Inf bucket = %g, want _count = %g", inf, count)
+	}
+	if sum := byName["smallworld_route_hops_sum"][0].value; sum != 3 {
+		t.Errorf("_sum = %g, want 3 (only the finite positive sample)", sum)
+	}
+}
+
+func TestRegistrySnapshotMap(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.NextHint()
+	reg.StorePuts.Add(h, 5)
+	reg.RouteOutcomes[2].Add(h, 7)
+	reg.LatencyUs.Observe(12)
+
+	m := reg.Snapshot()
+	if got := m["smallworld_store_puts_total"]; got != uint64(5) {
+		t.Errorf("store_puts = %v, want 5", got)
+	}
+	oc, ok := m["smallworld_route_outcomes_total"].(map[string]uint64)
+	if !ok || oc["timeout"] != 7 {
+		t.Errorf("outcomes submap = %v, want timeout:7", m["smallworld_route_outcomes_total"])
+	}
+	hist, ok := m["smallworld_route_latency_us"].(map[string]any)
+	if !ok || hist["count"] != uint64(1) {
+		t.Errorf("latency submap = %v, want count:1", m["smallworld_route_latency_us"])
+	}
+	// The snapshot must be expvar-compatible: JSON-marshallable.
+	if _, err := json.Marshal(m); err != nil {
+		t.Errorf("Snapshot not JSON-marshallable: %v", err)
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.NextHint()
+	reg.RouteQueries.Add(h, 9)
+
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(metrics, "smallworld_route_queries_total 9\n") {
+		t.Errorf("/metrics missing counter value:\n%s", metrics)
+	}
+	if _, types := parseProm(t, strings.NewReader(metrics)); len(types) == 0 {
+		t.Error("/metrics parsed to no families")
+	}
+
+	vars, _ := get("/debug/vars")
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var sw map[string]any
+	if err := json.Unmarshal(doc["smallworld"], &sw); err != nil {
+		t.Fatalf("expvar smallworld var: %v", err)
+	}
+	if got := sw["smallworld_route_queries_total"]; got != float64(9) {
+		t.Errorf("expvar route_queries = %v, want 9", got)
+	}
+
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+	if body, _ := get("/"); !strings.Contains(body, "/metrics") {
+		t.Error("index page missing /metrics link")
+	}
+}
+
+// TestServeRegistrySwap exercises the expvar republish path: a second
+// Serve call swaps the expvar-visible registry instead of panicking on
+// a duplicate Publish.
+func TestServeRegistrySwap(t *testing.T) {
+	regA := obs.NewRegistry()
+	regA.SnapNodes.Set(1)
+	srvA, err := obs.Serve("127.0.0.1:0", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA.Close()
+
+	regB := obs.NewRegistry()
+	regB.SnapNodes.Set(2)
+	srvB, err := obs.Serve("127.0.0.1:0", regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", srvB.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Smallworld map[string]any `json:"smallworld"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Smallworld["smallworld_snapshot_nodes"]; got != float64(2) {
+		t.Errorf("expvar shows registry A's value after swap: %v", got)
+	}
+}

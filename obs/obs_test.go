@@ -1,0 +1,100 @@
+package obs_test
+
+import (
+	"sync"
+	"testing"
+
+	"smallworld/obs"
+)
+
+func TestCounterAddInc(t *testing.T) {
+	var c obs.Counter
+	reg := obs.NewRegistry()
+	h := reg.NextHint()
+	c.Inc(h)
+	c.Add(h, 41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+}
+
+// TestCounterShardedMerge drives one counter from many goroutines, each
+// holding its own hint, and checks Value sums every shard. CI runs this
+// package under -race, which makes the test double as the data-race
+// guard for the sharded layout.
+func TestCounterShardedMerge(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 10_000
+	)
+	reg := obs.NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		h := reg.NextHint()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.RouteQueries.Inc(h)
+				reg.RouteHops.Add(h, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.RouteQueries.Value(); got != goroutines*perG {
+		t.Errorf("RouteQueries = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.RouteHops.Value(); got != goroutines*perG*3 {
+		t.Errorf("RouteHops = %d, want %d", got, goroutines*perG*3)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g obs.Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero Gauge Value() = %d", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("Value() = %d, want -7", got)
+	}
+}
+
+func TestNextHintDistinct(t *testing.T) {
+	reg := obs.NewRegistry()
+	seen := map[obs.Hint]bool{}
+	// Consecutive hints must land on distinct shards for at least the
+	// shard count, or "one hint per goroutine" would not prevent
+	// contention.
+	for i := 0; i < 8; i++ {
+		h := reg.NextHint()
+		if seen[h&7] {
+			t.Fatalf("hint %d repeats a shard within the first 8", h)
+		}
+		seen[h&7] = true
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *obs.Registry
+	if got := r.NextHint(); got != 0 {
+		t.Errorf("nil NextHint() = %d, want 0", got)
+	}
+	if err := r.WriteMetrics(nil); err != nil {
+		t.Errorf("nil WriteMetrics: %v", err)
+	}
+	if m := r.Snapshot(); m != nil {
+		t.Errorf("nil Snapshot() = %v, want nil", m)
+	}
+}
+
+func TestCounterAllocs(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.NextHint()
+	if n := testing.AllocsPerRun(1000, func() {
+		reg.RouteQueries.Inc(h)
+		reg.HopsPerQuery.Observe(5)
+	}); n != 0 {
+		t.Errorf("counter+histogram update allocates %v per op, want 0", n)
+	}
+}

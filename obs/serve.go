@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Server is a live observability endpoint: Prometheus text exposition
+// at /metrics, the registry snapshot under expvar at /debug/vars, and
+// the full net/http/pprof suite at /debug/pprof/. It runs on its own
+// mux — nothing is registered on http.DefaultServeMux.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// expvar.Publish panics on duplicate names and offers no unpublish, so
+// the "smallworld" expvar points at a swappable registry pointer: each
+// Serve call swaps in its registry, and the Func is published once per
+// process.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("smallworld", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the endpoint's http.Handler without binding a
+// listener — useful for mounting under an existing server or hitting
+// in tests with httptest.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteMetrics(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><h1>smallworld obs</h1><ul>` +
+			`<li><a href="/metrics">/metrics</a> (Prometheus text)</li>` +
+			`<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>` +
+			`<li><a href="/debug/pprof/">/debug/pprof/</a></li>` +
+			`</ul></body></html>`))
+	})
+	return mux
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9090"; ":0" picks a free port) and
+// serves the observability endpoint for reg in a background goroutine.
+// Close stops it. The registry keeps working after Close — serving is a
+// view, not ownership.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(reg)
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(reg)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:40123" after ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

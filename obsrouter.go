@@ -1,0 +1,68 @@
+package smallworld
+
+import (
+	"smallworld/keyspace"
+	"smallworld/obs"
+)
+
+// Observability for the static greedy routers. Unlike the serving path
+// (where snapshots carry the hooks), the static Network is immutable,
+// so instrumentation is installed on the Network and inherited by every
+// Router created afterwards. The routing loops themselves are not
+// touched: counters update after the walk from the Route result, and a
+// sampled trace is reconstructed from the recorded path — the hot loop
+// pays exactly one boolean check per route.
+
+// SetObs installs a metrics registry and an optional tracer on the
+// network. Routers created by NewRouter afterwards update the routing
+// counters (queries, hops, failures, hop histogram) and sample 1-in-N
+// traces; routers created earlier — including any already sitting in
+// the convenience-API pool — are unaffected. Pass (nil, nil) to stop
+// instrumenting new routers.
+func (nw *Network) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
+	nw.obsReg, nw.obsTracer = reg, tracer
+}
+
+// SetObs installs instrumentation on this router alone.
+func (r *Router) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
+	r.obsReg = reg
+	r.obsTracer = tracer
+	r.obsHint = reg.NextHint()
+	r.obsSample = tracer.NewSampler()
+	r.obsOn = reg != nil || tracer != nil
+}
+
+// observe records one finished route: counters, the hop histogram, and
+// — when this query is sampled — a trace rebuilt from the path the
+// walk already recorded (span time base: hop index).
+func (r *Router) observe(rt *Route, target keyspace.Key) {
+	hops := rt.Hops()
+	if reg := r.obsReg; reg != nil {
+		reg.RouteQueries.Inc(r.obsHint)
+		reg.RouteHops.Add(r.obsHint, uint64(hops))
+		if rt.Arrived {
+			reg.HopsPerQuery.Observe(float64(hops))
+		} else {
+			reg.RouteFailures.Inc(r.obsHint)
+		}
+	}
+	src := -1
+	if len(rt.Path) > 0 {
+		src = rt.Path[0]
+	}
+	if tr := r.obsSample.Start("greedy", src, float64(target), 0); tr != nil {
+		topo := r.nw.cfg.Topology
+		for i, v := range rt.Path[1:] {
+			tr.Hop(float64(i), 1, int32(v), 0, 0, obs.SpanHop,
+				topo.Distance(r.nw.keys[v], target))
+		}
+		outcome := "arrived"
+		switch {
+		case rt.Truncated:
+			outcome = "truncated"
+		case !rt.Arrived:
+			outcome = "stopped"
+		}
+		r.obsTracer.Finish(tr, float64(hops), outcome)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"smallworld/keyspace"
+	"smallworld/obs"
 )
 
 // Publisher serves an overlay while it churns: it wraps any Dynamic
@@ -59,6 +60,10 @@ type Publisher struct {
 	faults     FaultPlane
 	vantage    keyspace.Key
 	hasVantage bool
+
+	obsReg    *obs.Registry
+	obsTracer *obs.Tracer
+	obsHint   obs.Hint
 
 	cur atomic.Pointer[Snapshot]
 }
@@ -166,6 +171,7 @@ func (p *Publisher) publishLocked() {
 	if p.faults != nil {
 		s.faults = buildFaultMask(s, p.faults, p.vantage, p.hasVantage)
 	}
+	p.attachObsLocked(s)
 	p.cur.Store(s)
 	p.pending = 0
 }

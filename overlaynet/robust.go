@@ -2,9 +2,11 @@ package overlaynet
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"smallworld/keyspace"
 	"smallworld/netmodel"
+	"smallworld/obs"
 	"smallworld/xrand"
 )
 
@@ -175,6 +177,14 @@ type RobustRouter struct {
 
 	cands []int32
 	dists []float64
+	candJ []int32 // candidate's index in cur's out-row (link accounting)
+
+	// Observability, inherited from the pinned snapshot on Rebind or
+	// pinned directly via SetObs. nil hooks = one nil check per query.
+	hooks     *obsHooks
+	hint      obs.Hint
+	sampler   obs.Sampler
+	obsPinned bool // SetObs was called; Rebind must not override
 }
 
 // NewRobustRouter wraps ov. The Transport may be nil (a perfect
@@ -206,6 +216,7 @@ func NewRobustRouter(ov Overlay, tr Transport, pol RobustPolicy, seed uint64) (*
 			return nil, fmt.Errorf("overlaynet: robust routing unsupported for delegating snapshot of %q", s.kind)
 		}
 		r.snap = s
+		r.bindSnapObs(s.obs)
 	}
 	if tr != nil {
 		r.oracle, _ = tr.(deadOracle)
@@ -220,6 +231,34 @@ func (r *RobustRouter) Rebind(s *Snapshot) {
 	r.snap = s
 	r.ov = s
 	r.topo = s.topo
+	if !r.obsPinned && s.obs != r.hooks {
+		r.bindSnapObs(s.obs)
+	}
+}
+
+// SetObs installs instrumentation directly on the router, for robust
+// routing over plain overlays or snapshots captured outside a
+// Publisher. Pinned hooks survive Rebind; pass (nil, nil) to unpin and
+// fall back to snapshot-carried hooks.
+func (r *RobustRouter) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg == nil && tracer == nil {
+		r.hooks, r.obsPinned = nil, false
+		return
+	}
+	r.hooks = &obsHooks{reg: reg, tracer: tracer}
+	r.hint = reg.NextHint()
+	r.sampler = tracer.NewSampler()
+	r.obsPinned = true
+}
+
+// bindSnapObs adopts the hooks a pinned snapshot carries, keeping the
+// hint and sampler across epochs of the same registry/tracer.
+func (r *RobustRouter) bindSnapObs(h *obsHooks) {
+	if h != nil && (r.hooks == nil || h.reg != r.hooks.reg || h.tracer != r.hooks.tracer) {
+		r.hint = h.reg.NextHint()
+		r.sampler = h.tracer.NewSampler()
+	}
+	r.hooks = h
 }
 
 // Policy returns the resolved policy the router routes under.
@@ -257,6 +296,41 @@ func (r *RobustRouter) maskDead(u int) bool {
 // RouteRobust routes one query from node src to the peer responsible
 // for target, paying for every fault the Transport injects.
 func (r *RobustRouter) RouteRobust(src int, target keyspace.Key) RobustResult {
+	if r.hooks == nil {
+		return r.routeRobust(src, target, nil)
+	}
+	return r.routeRobustObserved(src, target)
+}
+
+// routeRobustObserved wraps the core walk with counters, histograms and
+// 1-in-N trace sampling. Outlined from RouteRobust so the
+// uninstrumented path pays one nil check.
+func (r *RobustRouter) routeRobustObserved(src int, target keyspace.Key) RobustResult {
+	h := r.hooks
+	trc := r.sampler.Start("robust", src, float64(target), 0)
+	res := r.routeRobust(src, target, trc)
+	if reg := h.reg; reg != nil {
+		reg.RouteQueries.Inc(r.hint)
+		reg.RouteHops.Add(r.hint, uint64(res.Hops))
+		reg.RouteRetries.Add(r.hint, uint64(res.Retries))
+		reg.RouteOutcomes[obsOutcome(res.Outcome)].Inc(r.hint)
+		if res.Outcome.Arrived() {
+			reg.HopsPerQuery.Observe(float64(res.Hops))
+		} else {
+			reg.RouteFailures.Inc(r.hint)
+		}
+		reg.VirtLatency.Observe(res.Latency)
+	}
+	if trc != nil {
+		h.tracer.Finish(trc, res.Latency, res.Outcome.String())
+	}
+	return res
+}
+
+// routeRobust is the core walk. trc, when non-nil, receives one span
+// per delivered hop, timeout and hijack, timed in accumulated virtual
+// latency; recording reads only values the walk already computed.
+func (r *RobustRouter) routeRobust(src int, target keyspace.Key, trc *obs.Trace) RobustResult {
 	keys := r.keysView()
 	n := len(keys)
 	res := RobustResult{Dest: -1}
@@ -273,6 +347,10 @@ func (r *RobustRouter) RouteRobust(src int, target keyspace.Key) RobustResult {
 	maxHops := pol.MaxHops
 	if maxHops <= 0 {
 		maxHops = 4 * n
+	}
+	var links []uint64
+	if r.snap != nil && r.snap.obs != nil {
+		links = r.snap.obs.links
 	}
 	cur := src
 	dCur := r.topo.Distance(keys[cur], target)
@@ -292,11 +370,17 @@ func (r *RobustRouter) RouteRobust(src int, target keyspace.Key) RobustResult {
 			nbrs := r.neighborsView(cur)
 			hijacked := false
 			if len(nbrs) > 0 {
-				v := int(nbrs[r.rng.Intn(len(nbrs))])
+				j := r.rng.Intn(len(nbrs))
+				v := int(nbrs[j])
 				if d := r.tr.Send(keys[cur], keys[v]); d.Status == netmodel.SendOK {
+					if links != nil {
+						atomic.AddUint64(&links[r.snap.csr.RowStart(cur)+j], 1)
+					}
+					dv := r.topo.Distance(keys[v], target)
+					trc.Hop(res.Latency, d.Latency, int32(v), j, 0, obs.SpanHijack, dv)
 					res.Latency += d.Latency
 					res.Hops++
-					cur, dCur = v, r.topo.Distance(keys[v], target)
+					cur, dCur = v, dv
 					degraded, hijacked = true, true
 				}
 			}
@@ -328,6 +412,10 @@ func (r *RobustRouter) RouteRobust(src int, target keyspace.Key) RobustResult {
 					d = r.tr.Send(keys[cur], keys[v])
 				}
 				if d.Status == netmodel.SendOK {
+					if links != nil {
+						atomic.AddUint64(&links[r.snap.csr.RowStart(cur)+int(r.candJ[ci])], 1)
+					}
+					trc.Hop(res.Latency, d.Latency, int32(v), ci, attempt, obs.SpanHop, r.dists[ci])
 					res.Latency += d.Latency
 					res.Hops++
 					cur, dCur = v, r.dists[ci]
@@ -337,6 +425,7 @@ func (r *RobustRouter) RouteRobust(src int, target keyspace.Key) RobustResult {
 				// The sender cannot tell a lost message from a dead peer:
 				// both are a timeout. It retries either way; only the
 				// classifier distinguishes them.
+				trc.Hop(res.Latency, pol.HopTimeout, int32(v), ci, attempt, obs.SpanTimeout, r.dists[ci])
 				res.Latency += pol.HopTimeout
 				if d.Status == netmodel.SendLost {
 					sawLost = true
@@ -380,7 +469,8 @@ func (r *RobustRouter) buildCandidates(cur int, target keyspace.Key, dCur float6
 	curKey := keys[cur]
 	r.cands = r.cands[:0]
 	r.dists = r.dists[:0]
-	for _, v := range r.neighborsView(cur) {
+	r.candJ = r.candJ[:0]
+	for j, v := range r.neighborsView(cur) {
 		if r.maskDead(int(v)) {
 			continue
 		}
@@ -389,6 +479,7 @@ func (r *RobustRouter) buildCandidates(cur int, target keyspace.Key, dCur float6
 		if d < dCur || (d == dCur && topo.Advances(curKey, vKey, target)) {
 			r.cands = append(r.cands, v)
 			r.dists = append(r.dists, d)
+			r.candJ = append(r.candJ, int32(j))
 		}
 	}
 	// Insertion sort by distance; candidate lists are short.
@@ -396,6 +487,7 @@ func (r *RobustRouter) buildCandidates(cur int, target keyspace.Key, dCur float6
 		for j := i; j > 0 && r.dists[j] < r.dists[j-1]; j-- {
 			r.dists[j], r.dists[j-1] = r.dists[j-1], r.dists[j]
 			r.cands[j], r.cands[j-1] = r.cands[j-1], r.cands[j]
+			r.candJ[j], r.candJ[j-1] = r.candJ[j-1], r.candJ[j]
 		}
 	}
 	return len(r.cands)

@@ -8,6 +8,7 @@ import (
 	"smallworld/dist"
 	"smallworld/keyspace"
 	"smallworld/netmodel"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 	"smallworld/xrand"
 )
@@ -39,7 +40,36 @@ func BenchmarkRouteRobust(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteRobustObs is BenchmarkRouteRobust's loss=5% row under
+// the observability plane: counters pins a registry on the router,
+// tracing adds the 1-in-128 sampling gate. Same acceptance bar as
+// BenchmarkRouteGreedyObs — ≤5% over off, 0 allocs/op in every mode.
+func BenchmarkRouteRobustObs(b *testing.B) {
+	for _, mode := range []string{"off", "counters", "tracing"} {
+		b.Run(mode, func(b *testing.B) {
+			benchRouteRobustObs(b, mode)
+		})
+	}
+}
+
+func benchRouteRobustObs(b *testing.B, mode string) {
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	switch mode {
+	case "counters":
+		reg = obs.NewRegistry()
+	case "tracing":
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(obs.TracerConfig{})
+	}
+	benchRouteRobustWith(b, 1<<12, netmodel.Config{Loss: 0.05}, false, reg, tracer)
+}
+
 func benchRouteRobust(b *testing.B, n int, cfg netmodel.Config, mask bool) {
+	benchRouteRobustWith(b, n, cfg, mask, nil, nil)
+}
+
+func benchRouteRobustWith(b *testing.B, n int, cfg netmodel.Config, mask bool, reg *obs.Registry, tracer *obs.Tracer) {
 	ctx := context.Background()
 	dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", overlaynet.Options{
 		N: n, Seed: 9, Dist: dist.NewPower(0.7), Topology: keyspace.Ring,
@@ -67,6 +97,9 @@ func benchRouteRobust(b *testing.B, n int, cfg netmodel.Config, mask bool) {
 	rr, err := overlaynet.NewRobustRouter(snap, tr, overlaynet.RobustPolicy{}, 3)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if reg != nil || tracer != nil {
+		rr.SetObs(reg, tracer)
 	}
 	rng := xrand.New(21)
 	srcs := make([]int, 4096)

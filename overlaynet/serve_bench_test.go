@@ -10,6 +10,7 @@ import (
 
 	"smallworld/dist"
 	"smallworld/keyspace"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 	"smallworld/xrand"
 )
@@ -53,7 +54,35 @@ func BenchmarkServeUnderChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkServeUnderChurnObs is the serve-while-churning configuration
+// (N=4096, 4 workers, churn on) under the observability plane: the
+// publisher carries a registry (and, in the tracing mode, a 1-in-128
+// sampled tracer), so every snapshot the workers pin counts queries,
+// hops and link traffic. Acceptance: within 5% of the uninstrumented
+// row and still 0 allocs/query beyond the writer's repair allocations.
+func BenchmarkServeUnderChurnObs(b *testing.B) {
+	const churnInterval = 200 * time.Microsecond
+	for _, mode := range []string{"off", "counters", "tracing"} {
+		b.Run(mode, func(b *testing.B) {
+			var reg *obs.Registry
+			var tracer *obs.Tracer
+			switch mode {
+			case "counters":
+				reg = obs.NewRegistry()
+			case "tracing":
+				reg = obs.NewRegistry()
+				tracer = obs.NewTracer(obs.TracerConfig{})
+			}
+			benchServeWith(b, 1<<12, 4, true, churnInterval, reg, tracer)
+		})
+	}
+}
+
 func benchServe(b *testing.B, n, workers int, churn bool, churnInterval time.Duration) {
+	benchServeWith(b, n, workers, churn, churnInterval, nil, nil)
+}
+
+func benchServeWith(b *testing.B, n, workers int, churn bool, churnInterval time.Duration, reg *obs.Registry, tracer *obs.Tracer) {
 	ctx := context.Background()
 	dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", overlaynet.Options{
 		N: n, Seed: 9, Dist: dist.NewPower(0.7), Topology: keyspace.Ring,
@@ -66,6 +95,9 @@ func benchServe(b *testing.B, n, workers int, churn bool, churnInterval time.Dur
 	pub, err := overlaynet.NewPublisher(dyn, overlaynet.PublishEvery(16))
 	if err != nil {
 		b.Fatal(err)
+	}
+	if reg != nil || tracer != nil {
+		pub.SetObs(reg, tracer)
 	}
 
 	var stop atomic.Bool

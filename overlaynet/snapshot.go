@@ -3,9 +3,11 @@ package overlaynet
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"smallworld/graph"
 	"smallworld/keyspace"
+	"smallworld/obs"
 )
 
 // Snapshot is an immutable, routable picture of an overlay at one
@@ -43,6 +45,13 @@ type Snapshot struct {
 	// SnapshotRouters skip dead candidates with one indexed load and
 	// zero allocations.
 	faults *snapFaults
+
+	// obs, when non-nil, is the instrumentation attached by a Publisher
+	// carrying a registry/tracer (see obs.go). The hooks' counters are
+	// the only mutable state reachable from a snapshot — updated
+	// atomically, read only by scrapers, and never consulted by routing
+	// decisions.
+	obs *obsHooks
 }
 
 // snapFaults is a snapshot's frozen fault mask.
@@ -215,6 +224,13 @@ type SnapshotRouter struct {
 	s       *Snapshot
 	inner   Router    // delegated router, for snapshots with a src
 	innerOf *Snapshot // snapshot the inner router was built for
+
+	// Observability state, bound lazily to the pinned snapshot's hooks
+	// (see bindObs). All nil/zero — and one pointer compare per Route —
+	// when serving an uninstrumented snapshot.
+	hooks   *obsHooks
+	hint    obs.Hint
+	sampler obs.Sampler
 }
 
 // Rebind pins the router to a (newer) snapshot. Allocation-free (for
@@ -231,6 +247,15 @@ func (r *SnapshotRouter) Pinned() *Snapshot { return r.s }
 // the query was drawn against a different epoch — fails cleanly with
 // Arrived false rather than routing from an arbitrary slot.
 func (r *SnapshotRouter) Route(src int, target keyspace.Key) Result {
+	if r.s.obs == nil {
+		return r.route(src, target, nil)
+	}
+	return r.routeObserved(src, target)
+}
+
+// route is the uninstrumented core Route body; tr, when non-nil, is the
+// sampled trace the inner walk appends hop spans to.
+func (r *SnapshotRouter) route(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
 	if src < 0 || src >= len(s.keys) {
 		return Result{Dest: -1}
@@ -241,6 +266,9 @@ func (r *SnapshotRouter) Route(src int, target keyspace.Key) Result {
 		return Result{Dest: -1}
 	}
 	if s.src != nil {
+		// Delegated walk: queries/hops/outcomes still count in
+		// routeObserved, but hop spans and link traffic exist only on
+		// the CSR loops below — the source router is opaque here.
 		if r.innerOf != s {
 			r.inner = s.src.NewRouter()
 			r.innerOf = s
@@ -248,17 +276,62 @@ func (r *SnapshotRouter) Route(src int, target keyspace.Key) Result {
 		return r.inner.Route(src, target)
 	}
 	if s.topo == keyspace.Ring {
-		return r.routeRing(src, target)
+		return r.routeRing(src, target, tr)
 	}
-	return r.routeLine(src, target)
+	return r.routeLine(src, target, tr)
 }
 
-func (r *SnapshotRouter) routeRing(src int, target keyspace.Key) Result {
+// routeObserved routes against an instrumented snapshot: counters,
+// hop histogram and 1-in-N trace sampling around the same core walk.
+// Outlined from Route so the uninstrumented path pays one nil check.
+func (r *SnapshotRouter) routeObserved(src int, target keyspace.Key) Result {
+	h := r.s.obs
+	if h != r.hooks {
+		r.bindObs(h)
+	}
+	tr := r.sampler.Start("route", src, float64(target), 0)
+	res := r.route(src, target, tr)
+	if reg := h.reg; reg != nil {
+		reg.RouteQueries.Inc(r.hint)
+		reg.RouteHops.Add(r.hint, uint64(res.Hops))
+		if res.Arrived {
+			reg.HopsPerQuery.Observe(float64(res.Hops))
+		} else {
+			reg.RouteFailures.Inc(r.hint)
+		}
+	}
+	if tr != nil {
+		outcome := "arrived"
+		if !res.Arrived {
+			outcome = "stopped"
+		}
+		h.tracer.Finish(tr, float64(res.Hops), outcome)
+	}
+	return res
+}
+
+// bindObs (re)binds the router's shard hint and trace sampler when the
+// pinned snapshot's hooks change. A new epoch from the same Publisher
+// reuses hint and sampler (same registry/tracer); only switching to a
+// different registry re-draws them.
+func (r *SnapshotRouter) bindObs(h *obsHooks) {
+	if h != nil && (r.hooks == nil || h.reg != r.hooks.reg || h.tracer != r.hooks.tracer) {
+		r.hint = h.reg.NextHint()
+		r.sampler = h.tracer.NewSampler()
+	}
+	r.hooks = h
+}
+
+func (r *SnapshotRouter) routeRing(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
 	keys, csr := s.keys, s.csr
 	var deadMask []bool
 	if s.faults != nil {
 		deadMask = s.faults.dead
+	}
+	var links []uint64
+	if s.obs != nil {
+		links = s.obs.links
 	}
 	tf := float64(target)
 	cur := src
@@ -272,9 +345,9 @@ func (r *SnapshotRouter) routeRing(src int, target keyspace.Key) Result {
 	guard := 2 * len(keys)
 	hops := 0
 	for ; hops < guard; hops++ {
-		best, bestD := -1, dCur
+		best, bestD, bestJ := -1, dCur, -1
 		bestKey := keys[cur]
-		for _, v := range csr.Out(cur) {
+		for j, v := range csr.Out(cur) {
 			if deadMask != nil && deadMask[v] {
 				continue
 			}
@@ -287,23 +360,31 @@ func (r *SnapshotRouter) routeRing(src int, target keyspace.Key) Result {
 				d = 1 - d
 			}
 			if d < bestD || (d == bestD && keyspace.Ring.Advances(bestKey, vKey, target)) {
-				best, bestD, bestKey = int(v), d, vKey
+				best, bestD, bestJ, bestKey = int(v), d, j, vKey
 			}
 		}
 		if best == -1 {
 			break
 		}
+		if links != nil {
+			atomic.AddUint64(&links[csr.RowStart(cur)+bestJ], 1)
+		}
+		tr.Hop(float64(hops), 1, int32(best), bestJ, 0, obs.SpanHop, bestD)
 		cur, dCur = best, bestD
 	}
 	return Result{Hops: hops, Dest: cur, Arrived: r.arrived(dCur, target)}
 }
 
-func (r *SnapshotRouter) routeLine(src int, target keyspace.Key) Result {
+func (r *SnapshotRouter) routeLine(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
 	keys, csr := s.keys, s.csr
 	var deadMask []bool
 	if s.faults != nil {
 		deadMask = s.faults.dead
+	}
+	var links []uint64
+	if s.obs != nil {
+		links = s.obs.links
 	}
 	tf := float64(target)
 	cur := src
@@ -311,9 +392,9 @@ func (r *SnapshotRouter) routeLine(src int, target keyspace.Key) Result {
 	guard := 2 * len(keys)
 	hops := 0
 	for ; hops < guard; hops++ {
-		best, bestD := -1, dCur
+		best, bestD, bestJ := -1, dCur, -1
 		bestKey := keys[cur]
-		for _, v := range csr.Out(cur) {
+		for j, v := range csr.Out(cur) {
 			if deadMask != nil && deadMask[v] {
 				continue
 			}
@@ -323,12 +404,16 @@ func (r *SnapshotRouter) routeLine(src int, target keyspace.Key) Result {
 				d = -d
 			}
 			if d < bestD || (d == bestD && keyspace.Line.Advances(bestKey, vKey, target)) {
-				best, bestD, bestKey = int(v), d, vKey
+				best, bestD, bestJ, bestKey = int(v), d, j, vKey
 			}
 		}
 		if best == -1 {
 			break
 		}
+		if links != nil {
+			atomic.AddUint64(&links[csr.RowStart(cur)+bestJ], 1)
+		}
+		tr.Hop(float64(hops), 1, int32(best), bestJ, 0, obs.SpanHop, bestD)
 		cur, dCur = best, bestD
 	}
 	return Result{Hops: hops, Dest: cur, Arrived: r.arrived(dCur, target)}

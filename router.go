@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"smallworld/keyspace"
+	"smallworld/obs"
 )
 
 // Router carries the scratch buffers of greedy routing so that the hot
@@ -27,6 +28,15 @@ type Router struct {
 	// flat buffer its per-frame candidate windows slice into.
 	btFrames []btFrame
 	btCands  []int32
+
+	// Observability (see obsrouter.go). obsOn gates everything with one
+	// predictable branch per route; the inner loops are untouched —
+	// sampled traces are rebuilt from r.path after the walk finishes.
+	obsOn     bool
+	obsReg    *obs.Registry
+	obsHint   obs.Hint
+	obsSample obs.Sampler
+	obsTracer *obs.Tracer
 }
 
 // nextGen sizes the mark table to the network and opens a fresh epoch:
@@ -46,8 +56,15 @@ func (r *Router) nextGen() int32 {
 	return r.gen
 }
 
-// NewRouter returns a router with empty scratch bound to nw.
-func (nw *Network) NewRouter() *Router { return &Router{nw: nw} }
+// NewRouter returns a router with empty scratch bound to nw, inheriting
+// any instrumentation installed by Network.SetObs.
+func (nw *Network) NewRouter() *Router {
+	r := &Router{nw: nw}
+	if nw.obsReg != nil || nw.obsTracer != nil {
+		r.SetObs(nw.obsReg, nw.obsTracer)
+	}
+	return r
+}
 
 // router fetches a pooled Router for the allocating convenience API.
 func (nw *Network) router() *Router {
@@ -73,10 +90,16 @@ func (r *Router) RouteToNode(src, dst int) Route {
 // distance is a couple of arithmetic instructions on the flat CSR row
 // rather than a call through Topology.Distance.
 func (r *Router) RouteGreedy(src int, target keyspace.Key) Route {
+	var rt Route
 	if r.nw.cfg.Topology == keyspace.Ring {
-		return r.routeGreedyRing(src, target)
+		rt = r.routeGreedyRing(src, target)
+	} else {
+		rt = r.routeGreedyLine(src, target)
 	}
-	return r.routeGreedyLine(src, target)
+	if r.obsOn {
+		r.observe(&rt, target)
+	}
+	return rt
 }
 
 func (r *Router) routeGreedyRing(src int, target keyspace.Key) Route {
@@ -184,6 +207,14 @@ func ringDist(u, v float64) float64 {
 // better than the best direct hop, which a direct neighbour can never
 // be.
 func (r *Router) RouteGreedyNoN(src int, target keyspace.Key) Route {
+	rt := r.routeGreedyNoN(src, target)
+	if r.obsOn {
+		r.observe(&rt, target)
+	}
+	return rt
+}
+
+func (r *Router) routeGreedyNoN(src int, target keyspace.Key) Route {
 	nw := r.nw
 	topo := nw.cfg.Topology
 	keys, csr := nw.keys, nw.csr

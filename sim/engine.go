@@ -5,6 +5,7 @@ import (
 
 	"smallworld/keyspace"
 	"smallworld/netmodel"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 	"smallworld/xrand"
 )
@@ -128,6 +129,14 @@ type Engine struct {
 	snap      *overlaynet.Snapshot
 	snapEpoch uint64
 
+	// Observability, set only when the scenario carries a registry or
+	// tracer (sim/obs.go). The loop is single-goroutine, so one counter
+	// hint and one trace sampler serve the whole run.
+	obsReg     *obs.Registry
+	obsHint    obs.Hint
+	obsTracer  *obs.Tracer
+	obsSampler obs.Sampler
+
 	rec *recorder
 	err error
 }
@@ -157,6 +166,7 @@ func newEngine(ctx context.Context, ov overlaynet.Dynamic, sc Scenario) *Engine 
 	for i := range sc.Arrivals {
 		e.arrRNG[i] = master.Split()
 	}
+	e.bindObs()
 	e.msgr, _ = ov.(overlaynet.Messenger)
 	e.mnt, _ = ov.(overlaynet.Maintainer)
 	if e.msgr != nil {
@@ -174,6 +184,7 @@ func newEngine(ctx context.Context, ov overlaynet.Dynamic, sc Scenario) *Engine 
 			return e
 		}
 		e.model = m
+		m.SetObs(sc.Obs)
 		e.faultRNG = xrand.New(fseed ^ faultRNGSalt)
 		e.pol = sc.Retry.Resolved()
 		e.topo = keyspace.Ring
@@ -223,6 +234,9 @@ func (e *Engine) dispatch(ev event) {
 			e.push(event{at: e.now + e.loadRNG.ExpFloat64()/e.sc.Load.Rate, kind: evQuery})
 		}
 	case evWindow:
+		if e.obsReg != nil {
+			e.observeWindow()
+		}
 		e.rec.closeWindow(e, e.now)
 		if next := e.now + e.sc.Window; next <= e.sc.Duration {
 			e.push(event{at: next, kind: evWindow})
@@ -408,6 +422,9 @@ func (e *Engine) runQuery() {
 	}
 	res := e.router.Route(src, target)
 	e.rec.query(e.now, res, e.sc.TimeoutHops)
+	if e.obsReg != nil {
+		e.observeQuery(res)
+	}
 }
 
 // SetPartition installs a partition on the scenario's fault plane. It

@@ -3,6 +3,7 @@ package sim
 import (
 	"smallworld/keyspace"
 	"smallworld/netmodel"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 )
 
@@ -47,6 +48,10 @@ type flight struct {
 	op     uint8
 	opKey  keyspace.Key
 	opSpan float64
+
+	// tr is this query's sampled trace, nil for the unsampled majority.
+	// Spans are recorded in virtual time; finishFlight returns it.
+	tr *obs.Trace
 }
 
 // candidate is one improving neighbour, identifier-pinned.
@@ -111,6 +116,7 @@ func (e *Engine) startFlightOp(src int, target keyspace.Key, op uint8, opSpan fl
 		opKey:   target,
 		opSpan:  opSpan,
 	}
+	f.tr = e.obsSampler.Start(flightOpName(op), src, float64(target), e.now)
 	e.stepFlight(fi)
 }
 
@@ -170,6 +176,7 @@ func (e *Engine) stepFlight(fi int) {
 		// Candidate departed since selection: stays unreachable.
 	}
 	if del.Status == netmodel.SendOK {
+		f.tr.Hop(e.now, del.Latency, int32(c.slot), f.candIdx, f.attempt, obs.SpanHop, c.d)
 		f.hops++
 		f.cur, f.curKey = c.slot, c.key
 		f.cands = f.cands[:0]
@@ -183,6 +190,7 @@ func (e *Engine) stepFlight(fi int) {
 		f.sawLost = true
 	}
 	wait := pol.HopTimeout
+	f.tr.Hop(e.now, wait, int32(c.slot), f.candIdx, f.attempt, obs.SpanTimeout, c.d)
 	if f.attempt < pol.Retries {
 		f.attempt++
 		f.retries++
@@ -216,6 +224,10 @@ func (e *Engine) hijackFlight(fi int) {
 		v := int(nbrs[e.faultRNG.Intn(len(nbrs))])
 		vKey := e.ov.Key(v)
 		if del := e.model.Send(f.curKey, vKey); del.Status == netmodel.SendOK {
+			if f.tr != nil {
+				f.tr.Hop(e.now, del.Latency, int32(v), 0, 0, obs.SpanHijack,
+					e.topo.Distance(vKey, f.target))
+			}
 			f.hops++
 			f.degrade = true
 			f.cur, f.curKey = v, vKey
@@ -287,7 +299,11 @@ func (e *Engine) finishFlight(fi int, o overlaynet.Outcome, extra float64) {
 	if f.op != opNone && e.store != nil {
 		o, hops = e.store.completeFlight(f, o)
 	}
-	e.rec.queryRobust(e.now, o, hops, f.retries, e.now-f.start+extra)
+	lat := e.now - f.start + extra
+	e.rec.queryRobust(e.now, o, hops, f.retries, lat)
+	if e.obsReg != nil || f.tr != nil {
+		e.observeFlight(f, o, hops, lat)
+	}
 	f.active = false
 	e.freeFl = append(e.freeFl, fi)
 }

@@ -1,0 +1,99 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"smallworld/obs"
+	"smallworld/sim"
+)
+
+// TestObsDeterminism is the observability plane's hard guarantee: a run
+// with a metrics registry and a tracer installed is bit-identical to
+// the same run without them. One preset per engine path — lossy
+// exercises the fault-plane flight loop (timeouts, retries), byzantine
+// adds hijack detours, chunks drives the replicated store — and each
+// report's JSON must match byte for byte, because instrumentation reads
+// only already-computed state and never touches a seeded stream.
+func TestObsDeterminism(t *testing.T) {
+	for _, preset := range []string{"lossy", "byzantine", "chunks"} {
+		t.Run(preset, func(t *testing.T) {
+			run := func(reg *obs.Registry, tracer *obs.Tracer) []byte {
+				sc, err := sim.Preset(preset, 96)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.Seed = 7
+				sc.Obs = reg
+				sc.Tracer = tracer
+				rep, err := sim.Run(context.Background(), storeDynamic(t, "incremental", 96, 11), sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := rep.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+
+			plain := run(nil, nil)
+			reg := obs.NewRegistry()
+			tracer := obs.NewTracer(obs.TracerConfig{Sample: 8})
+			instrumented := run(reg, tracer)
+
+			if !bytes.Equal(plain, instrumented) {
+				t.Fatalf("instrumented report differs from uninstrumented run:\n--- off ---\n%s\n--- on ---\n%s",
+					plain, instrumented)
+			}
+
+			// The identical bytes must not come from instrumentation having
+			// been silently off.
+			if reg.RouteQueries.Value() == 0 {
+				t.Error("registry counted no queries")
+			}
+			if preset == "chunks" {
+				if reg.StorePuts.Value() == 0 || reg.StoreScans.Value() == 0 {
+					t.Error("store family not updated by the chunks workload")
+				}
+			} else {
+				if reg.NetSends.Value() == 0 {
+					t.Error("net family not updated by a fault-plane run")
+				}
+				if reg.RouteRetries.Value() == 0 && preset == "lossy" {
+					t.Error("lossy run recorded no retries")
+				}
+			}
+			if len(tracer.Traces()) == 0 {
+				t.Error("no traces sampled at Sample=8")
+			}
+		})
+	}
+}
+
+// TestObsQueueAndFlights pins the engine-side gauges: window edges
+// sample the event-queue depth, and a fault-plane run observes virtual
+// latencies for every finished flight.
+func TestObsQueueAndFlights(t *testing.T) {
+	sc, err := sim.Preset("lossy", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 3
+	reg := obs.NewRegistry()
+	sc.Obs = reg
+	if _, err := sim.Run(context.Background(), storeDynamic(t, "incremental", 64, 4), sc); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.QueueDepth.Count(); got == 0 {
+		t.Error("QueueDepth never sampled at a window edge")
+	}
+	if got := reg.VirtLatency.Count(); got == 0 {
+		t.Error("VirtLatency never observed for finished flights")
+	}
+	if q, o := reg.RouteQueries.Value(), reg.RouteOutcomes[0].Value()+reg.RouteOutcomes[1].Value()+
+		reg.RouteOutcomes[2].Value()+reg.RouteOutcomes[3].Value(); q != o {
+		t.Errorf("outcome series sum to %d, want RouteQueries = %d", o, q)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"smallworld/metrics"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 	"smallworld/xrand"
 )
@@ -83,6 +84,14 @@ type ServeConfig struct {
 	// PinEvery is how many queries a worker routes against one pinned
 	// snapshot before re-pinning to the latest epoch. Default 512.
 	PinEvery int
+	// Obs, when non-nil, is installed on the publisher for the run
+	// (Publisher.SetObs): published snapshots carry the counter hooks,
+	// workers feed the wall-clock latency histogram, and the loop keeps
+	// the serving QPS gauge fresh at each window edge.
+	Obs *obs.Registry
+	// Tracer rides along with Obs on the publisher, sampling per-query
+	// hop traces from the snapshot routers.
+	Tracer *obs.Tracer
 }
 
 // withServeDefaults resolves zero fields to their documented defaults.
@@ -276,6 +285,10 @@ func Serve(ctx context.Context, pub *overlaynet.Publisher, cfg ServeConfig) (*Se
 		return nil, fmt.Errorf("sim: join fraction %v outside [0,1]", cfg.JoinFrac)
 	}
 
+	if cfg.Obs != nil || cfg.Tracer != nil {
+		pub.SetObs(cfg.Obs, cfg.Tracer)
+	}
+
 	master := xrand.New(cfg.Seed)
 	churnRNG := master.Split()
 	accs := make([]*serveAcc, cfg.Workers)
@@ -315,6 +328,11 @@ func Serve(ctx context.Context, pub *overlaynet.Publisher, cfg ServeConfig) (*Se
 	closeWindow := func(now time.Time) {
 		rec.closeWindow(rep, accs, pub, now.Sub(start).Seconds(), winJoins, winLeaves)
 		winJoins, winLeaves = 0, 0
+		if cfg.Obs != nil {
+			if p, ok := rec.series[0].Last(); ok {
+				cfg.Obs.ServeQPS.Set(int64(p.V))
+			}
+		}
 	}
 
 	endT := time.NewTimer(cfg.Duration)
@@ -378,6 +396,10 @@ func serveWorker(pub *overlaynet.Publisher, cfg ServeConfig, acc *serveAcc, seed
 	if target == nil {
 		target = UniformTargets()
 	}
+	// Hop/outcome counters and trace sampling come from the snapshot's
+	// own hooks (the publisher attached them); the worker adds the one
+	// thing the router cannot know — wall-clock latency.
+	reg := cfg.Obs
 	snap := pub.Snapshot()
 	router := snap.NewRouter().(*overlaynet.SnapshotRouter)
 	hops := make([]float64, 0, cfg.PinEvery)
@@ -396,6 +418,9 @@ func serveWorker(pub *overlaynet.Publisher, cfg ServeConfig, acc *serveAcc, seed
 			t0 := time.Now()
 			res := router.Route(src, tgt)
 			lat := float64(time.Since(t0).Nanoseconds()) / 1e3
+			if reg != nil {
+				reg.LatencyUs.Observe(lat)
+			}
 			queries++
 			if res.Arrived {
 				h := float64(res.Hops)

@@ -51,6 +51,7 @@ import (
 	"math"
 
 	"smallworld/netmodel"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 )
 
@@ -129,6 +130,18 @@ type Scenario struct {
 	// the replay witness used by determinism tests. Off by default
 	// because traces grow with every event.
 	RecordTrace bool
+	// Obs, when non-nil, is the metrics registry the run updates: query
+	// counters and hop/latency histograms, flight gauges, event-queue
+	// depth at window edges, fault-plane send counters, and the store
+	// counter family when Store is set. Purely a side channel — the
+	// registry consumes no random stream and influences no event, so a
+	// run with Obs set is bit-identical to the same run without it
+	// (TestObsDeterminism pins this).
+	Obs *obs.Registry
+	// Tracer, when non-nil, samples per-query hop traces (1 in
+	// TracerConfig.Sample, a modular counter — never a random draw).
+	// Same determinism guarantee as Obs.
+	Tracer *obs.Tracer
 }
 
 // withDefaults resolves zero-valued fields to their documented

@@ -251,6 +251,9 @@ func (e *Engine) initStore() {
 		return
 	}
 	ss.st = st
+	if e.sc.Obs != nil || e.sc.Tracer != nil {
+		st.SetObs(e.sc.Obs, e.sc.Tracer)
+	}
 	if cfg.Chunks {
 		ss.bases = make([]keyspace.Key, cfg.Objects)
 		ss.wNext = make([]int, cfg.Objects)
@@ -342,7 +345,11 @@ func (ss *storeState) runOp(e *Engine, src int, target keyspace.Key) {
 	}
 	ss.winOps++
 	hops, ok := ss.perform(src, op, key, span)
-	e.rec.query(e.now, overlaynet.Result{Hops: hops, Dest: -1, Arrived: ok}, e.sc.TimeoutHops)
+	res := overlaynet.Result{Hops: hops, Dest: -1, Arrived: ok}
+	e.rec.query(e.now, res, e.sc.TimeoutHops)
+	if e.obsReg != nil {
+		e.observeQuery(res)
+	}
 }
 
 // drawOp picks the op kind from the configured mix and resolves its

@@ -1,0 +1,111 @@
+package store_test
+
+import (
+	"context"
+	"testing"
+
+	"smallworld/keyspace"
+	"smallworld/obs"
+	"smallworld/store"
+	"smallworld/xrand"
+)
+
+// TestStoreObsMirrorsStats drives every store operation class — puts,
+// gets, scans, and churn-triggered repair — and checks the registry's
+// store family equals the store's own Stats ledger: the delta-flush
+// wiring must neither drop nor double-count an event.
+func TestStoreObsMirrorsStats(t *testing.T) {
+	ctx := context.Background()
+	pub, _ := newServed(t, 64, 5)
+	st, err := store.New(pub, store.Config{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.TracerConfig{Sample: 4})
+	st.SetObs(reg, tracer)
+
+	r := xrand.New(7)
+	var ops uint64
+	keys := make([]keyspace.Key, 0, 60)
+	for i := 0; i < 60; i++ {
+		k := keyspace.Key(r.Float64())
+		keys = append(keys, k)
+		st.Put(r.Intn(pub.LiveN()), k, valOf(k))
+		ops++
+	}
+	// Churn: departures force handover re-replication, arrivals force
+	// trims — both flushed by the operation that observes them.
+	for i := 0; i < 8; i++ {
+		if err := pub.Leave(ctx, r.Intn(pub.LiveN())); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		st.Get(r.Intn(pub.LiveN()), k)
+		ops++
+	}
+	for i := 0; i < 10; i++ {
+		lo := keyspace.Key(r.Float64())
+		st.Scan(r.Intn(pub.LiveN()), keyspace.Interval{Lo: lo, Hi: keyspace.Wrap(float64(lo) + 0.2)})
+		ops++
+	}
+	// One last op so repairs done by the final Sync are also flushed.
+	st.Sync()
+	st.Get(0, keys[0])
+	ops++
+
+	stats := st.Stats()
+	for _, tc := range []struct {
+		name string
+		got  uint64
+		want int64
+	}{
+		{"StorePuts", reg.StorePuts.Value(), stats.Puts},
+		{"StoreAcked", reg.StoreAcked.Value(), stats.AckedWrites},
+		{"StoreGets", reg.StoreGets.Value(), stats.Gets},
+		{"StoreScans", reg.StoreScans.Value(), stats.Scans},
+		{"StoreReadRepairs", reg.StoreReadRepairs.Value(), stats.ReadRepairs},
+		{"StoreRereplicated", reg.StoreRereplicated.Value(), stats.Rereplicated},
+		{"StoreTrimmed", reg.StoreTrimmed.Value(), stats.Trimmed},
+		{"StoreSweeps", reg.StoreSweeps.Value(), stats.Sweeps},
+		{"StoreBytesMoved", reg.StoreBytesMoved.Value(), stats.BytesMoved},
+	} {
+		if tc.got != uint64(tc.want) {
+			t.Errorf("%s = %d, want Stats value %d", tc.name, tc.got, tc.want)
+		}
+	}
+	if stats.Rereplicated == 0 {
+		t.Error("churn produced no re-replication; the repair mirror went unexercised")
+	}
+	if got := reg.StoreOpHops.Count(); got != ops {
+		t.Errorf("StoreOpHops count = %d, want one observation per op = %d", got, ops)
+	}
+	if traces := tracer.Traces(); len(traces) == 0 {
+		t.Error("no store op traces retained at Sample=4")
+	}
+}
+
+// TestStoreObsOffByDefault pins that an uninstrumented store (and one
+// whose instrumentation was stripped again) never touches a registry.
+func TestStoreObsOffByDefault(t *testing.T) {
+	pub, _ := newServed(t, 32, 6)
+	st, err := store.New(pub, store.Config{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st.SetObs(reg, nil)
+	st.Put(0, keyspace.Key(0.5), []byte("x"))
+	if got := reg.StorePuts.Value(); got != 1 {
+		t.Fatalf("instrumented put not counted: %d", got)
+	}
+	st.SetObs(nil, nil)
+	st.Put(0, keyspace.Key(0.25), []byte("y"))
+	if got := reg.StorePuts.Value(); got != 1 {
+		t.Errorf("stripped store still counted: %d", got)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"sync"
 
 	"smallworld/keyspace"
+	"smallworld/obs"
 	"smallworld/overlaynet"
 )
 
@@ -231,6 +232,12 @@ type Store struct {
 	seq      uint64 // global write counter (Stamp.Seq source)
 
 	stats Stats
+
+	// Observability installed by SetObs (see obs.go in this package).
+	obsReg     *obs.Registry
+	obsHint    obs.Hint
+	obsTracer  *obs.Tracer
+	obsSampler obs.Sampler
 }
 
 // New builds a store over src, immediately adopting the current
@@ -522,6 +529,13 @@ func (s *Store) locateLocked(src int, k keyspace.Key) int {
 func (s *Store) Put(src int, key keyspace.Key, val []byte) PutResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	pre := s.stats
+	res := s.putLocked(src, key, val)
+	s.obsFlushLocked(pre, "put", src, float64(key), res.Hops)
+	return res
+}
+
+func (s *Store) putLocked(src int, key keyspace.Key, val []byte) PutResult {
 	s.syncLocked()
 	s.stats.Puts++
 	n := len(s.members)
@@ -552,6 +566,13 @@ func (s *Store) Put(src int, key keyspace.Key, val []byte) PutResult {
 func (s *Store) Get(src int, key keyspace.Key) GetResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	pre := s.stats
+	res := s.getLocked(src, key)
+	s.obsFlushLocked(pre, "get", src, float64(key), res.Hops)
+	return res
+}
+
+func (s *Store) getLocked(src int, key keyspace.Key) GetResult {
 	s.syncLocked()
 	s.stats.Gets++
 	res := GetResult{Hops: s.locateLocked(src, key)}
@@ -591,6 +612,13 @@ func (s *Store) Get(src int, key keyspace.Key) GetResult {
 func (s *Store) Scan(src int, iv keyspace.Interval) ScanResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	pre := s.stats
+	res := s.scanLocked(src, iv)
+	s.obsFlushLocked(pre, "scan", src, float64(iv.Lo), res.Hops)
+	return res
+}
+
+func (s *Store) scanLocked(src int, iv keyspace.Interval) ScanResult {
 	s.syncLocked()
 	s.stats.Scans++
 	var res ScanResult
@@ -685,6 +713,12 @@ func (s *Store) Scan(src int, iv keyspace.Interval) ScanResult {
 func (s *Store) Sweep() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	pre := s.stats
+	s.sweepLocked()
+	s.obsFlushLocked(pre, "sweep", -1, 0, 0)
+}
+
+func (s *Store) sweepLocked() {
 	s.syncLocked()
 	s.stats.Sweeps++
 	keys := s.allKeysLocked()
