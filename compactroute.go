@@ -1,0 +1,118 @@
+package smallworld
+
+import (
+	"math"
+
+	"smallworld/graph"
+	"smallworld/keyspace"
+)
+
+// Compact-adjacency variants of the greedy routing inner loops
+// (router.go). The walk is identical to the flat-CSR loops — same
+// distance arithmetic, same Advances tie-break, same guard and arrival
+// check — but neighbours are produced by decoding the row's uint16
+// deltas inline (see graph.CompactRow) instead of reading absolute
+// int32 targets, so each hop streams roughly half the adjacency bytes.
+// Selected by Network.SetCompactRouting; the equivalence test pins the
+// two paths byte-identical.
+
+func (r *Router) routeGreedyRingCompact(src int, target keyspace.Key) Route {
+	nw := r.nw
+	keys, z := nw.keys, nw.ccsr
+	tf := float64(target)
+	cur := src
+	r.path = append(r.path[:0], src)
+	dCur := ringDist(float64(keys[cur]), tf)
+	guard := maxHopsFor(nw.cfg.N)
+	for hops := 0; ; hops++ {
+		if hops >= guard {
+			return Route{Path: r.path, Truncated: true}
+		}
+		best, bestD := -1, dCur
+		bestKey := keys[cur]
+		row := z.Row(cur)
+		prev := row.Base
+		e := 0
+		for i, dv := range row.Deltas {
+			var v int32
+			switch {
+			case dv == graph.EscapeSentinel:
+				v = row.Escapes[e]
+				e++
+			case i == 0:
+				v = row.Base + graph.Unzigzag(uint32(dv))
+			default:
+				v = prev + int32(dv)
+			}
+			prev = v
+			vKey := keys[v]
+			d := float64(vKey) - tf
+			if d < 0 {
+				d = -d
+			}
+			if d > 0.5 {
+				d = 1 - d
+			}
+			if d < bestD {
+				best, bestD, bestKey = int(v), d, vKey
+			} else if d == bestD && keyspace.Ring.Advances(bestKey, vKey, target) {
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+		r.path = append(r.path, cur)
+	}
+	return Route{Path: r.path, Arrived: nw.isNearest(cur, target)}
+}
+
+func (r *Router) routeGreedyLineCompact(src int, target keyspace.Key) Route {
+	nw := r.nw
+	keys, z := nw.keys, nw.ccsr
+	tf := float64(target)
+	cur := src
+	r.path = append(r.path[:0], src)
+	dCur := math.Abs(float64(keys[cur]) - tf)
+	guard := maxHopsFor(nw.cfg.N)
+	for hops := 0; ; hops++ {
+		if hops >= guard {
+			return Route{Path: r.path, Truncated: true}
+		}
+		best, bestD := -1, dCur
+		bestKey := keys[cur]
+		row := z.Row(cur)
+		prev := row.Base
+		e := 0
+		for i, dv := range row.Deltas {
+			var v int32
+			switch {
+			case dv == graph.EscapeSentinel:
+				v = row.Escapes[e]
+				e++
+			case i == 0:
+				v = row.Base + graph.Unzigzag(uint32(dv))
+			default:
+				v = prev + int32(dv)
+			}
+			prev = v
+			vKey := keys[v]
+			d := float64(vKey) - tf
+			if d < 0 {
+				d = -d
+			}
+			if d < bestD {
+				best, bestD, bestKey = int(v), d, vKey
+			} else if d == bestD && keyspace.Line.Advances(bestKey, vKey, target) {
+				best, bestD, bestKey = int(v), d, vKey
+			}
+		}
+		if best == -1 {
+			break
+		}
+		cur, dCur = best, bestD
+		r.path = append(r.path, cur)
+	}
+	return Route{Path: r.path, Arrived: nw.isNearest(cur, target)}
+}

@@ -1,0 +1,141 @@
+package smallworld
+
+import (
+	"math"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// TestCompactRoutingEquivalence pins the compact-adjacency routers
+// byte-identical to the flat-CSR ones: for uniform and skewed builds on
+// both topologies — plus the ulp-clustered degenerate-spacing regime —
+// every query must produce the same hop-by-hop path and the same
+// Arrived/Truncated verdict under either representation. Because the
+// compact loops replicate the flat distance and tie-break logic on
+// decoded rows, any divergence means the decode produced a different
+// target sequence.
+func TestCompactRoutingEquivalence(t *testing.T) {
+	type build struct {
+		name string
+		nw   *Network
+	}
+	var builds []build
+	for _, topo := range []keyspace.Topology{keyspace.Ring, keyspace.Line} {
+		cfg := UniformConfig(2048, 7)
+		cfg.Topology = topo
+		builds = append(builds, build{"uniform/" + topo.String(), mustBuild(t, cfg)})
+
+		cfg = SkewedConfig(2048, dist.NewPower(0.7), 11)
+		cfg.Topology = topo
+		builds = append(builds, build{"skewed/" + topo.String(), mustBuild(t, cfg)})
+
+		builds = append(builds, build{"ulpclusters/" + topo.String(), skewedClusterNetwork(t, topo)})
+	}
+
+	for _, bd := range builds {
+		t.Run(bd.name, func(t *testing.T) {
+			nw := bd.nw
+			checkCompactDecode(t, nw)
+
+			n := nw.N()
+			rng := xrand.New(uint64(n) + 13)
+			var queries []struct {
+				src    int
+				target keyspace.Key
+			}
+			add := func(src int, k keyspace.Key) {
+				if k.Valid() {
+					queries = append(queries, struct {
+						src    int
+						target keyspace.Key
+					}{src, k})
+				}
+			}
+			for i := 0; i < 256; i++ {
+				add(rng.Intn(n), keyspace.Key(rng.Float64()))
+			}
+			// Node keys and their ulp nudges: the exact-tie plateaus
+			// where the Advances tie-break decides the hop.
+			step := n/32 + 1
+			for u := 0; u < n; u += step {
+				k := float64(nw.Key(u))
+				add(rng.Intn(n), nw.Key(u))
+				add(rng.Intn(n), keyspace.Key(math.Nextafter(k, 0)))
+				add(rng.Intn(n), keyspace.Key(math.Nextafter(k, 2)))
+			}
+
+			flat := nw.NewRouter()
+			type want struct {
+				path      []int
+				arrived   bool
+				truncated bool
+			}
+			wants := make([]want, len(queries))
+			for i, q := range queries {
+				rt := flat.RouteGreedy(q.src, q.target)
+				wants[i] = want{append([]int(nil), rt.Path...), rt.Arrived, rt.Truncated}
+			}
+
+			nw.SetCompactRouting(true)
+			defer nw.SetCompactRouting(false)
+			if !nw.CompactRouting() {
+				t.Fatal("SetCompactRouting(true) did not stick")
+			}
+			compact := nw.NewRouter()
+			for i, q := range queries {
+				rt := compact.RouteGreedy(q.src, q.target)
+				w := wants[i]
+				if rt.Arrived != w.arrived || rt.Truncated != w.truncated {
+					t.Fatalf("query %d (src %d → %v): compact verdict %v/%v, flat %v/%v",
+						i, q.src, q.target, rt.Arrived, rt.Truncated, w.arrived, w.truncated)
+				}
+				if len(rt.Path) != len(w.path) {
+					t.Fatalf("query %d (src %d → %v): compact path %v, flat %v",
+						i, q.src, q.target, rt.Path, w.path)
+				}
+				for j := range w.path {
+					if rt.Path[j] != w.path[j] {
+						t.Fatalf("query %d (src %d → %v) hop %d: compact %v, flat %v",
+							i, q.src, q.target, j, rt.Path, w.path)
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkCompactDecode asserts CompactCSR decodes to exactly the flat
+// adjacency, shares its edge numbering, and — at realistic sizes —
+// actually shrinks it.
+func checkCompactDecode(t *testing.T, nw *Network) {
+	t.Helper()
+	c, z := nw.CSR(), nw.CompactCSR()
+	if z.N() != c.N() || z.M() != c.M() {
+		t.Fatalf("compact %d nodes / %d edges, flat %d / %d", z.N(), z.M(), c.N(), c.M())
+	}
+	var buf []int32
+	for u := 0; u < c.N(); u++ {
+		if z.RowStart(u) != c.RowStart(u) || z.OutDegree(u) != c.OutDegree(u) {
+			t.Fatalf("node %d: edge numbering diverges", u)
+		}
+		buf = z.AppendOut(u, buf)
+		flat := c.Out(u)
+		if len(buf) != len(flat) {
+			t.Fatalf("node %d: decoded %d targets, want %d", u, len(buf), len(flat))
+		}
+		for j := range flat {
+			if buf[j] != flat[j] {
+				t.Fatalf("node %d slot %d: decoded %d, want %d", u, j, buf[j], flat[j])
+			}
+		}
+	}
+	if c.N() >= 1024 {
+		flatBytes := int64(c.N()+1)*4 + int64(c.M())*4
+		if z.Bytes() >= flatBytes {
+			t.Fatalf("compact %d bytes ≥ flat %d bytes at N=%d", z.Bytes(), flatBytes, c.N())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+// Compact is a second, smaller representation of the same adjacency a
+// CSR holds: per-row delta-encoded targets in uint16 slots, with an
+// escape list for deltas that don't fit. For the small-world family —
+// where node indices are key ranks and most links land within a few
+// thousand ranks — the 4-byte absolute targets shrink to 2-byte
+// deltas, roughly halving the adjacency bytes the routing inner loop
+// streams through, which is what keeps it cache-resident at 2^24
+// nodes.
+//
+// Encoding, per row u with sorted targets t0 ≤ t1 ≤ … ≤ tk-1:
+//
+//   - slot 0 holds zigzag(t0 − u): the first target is anchored to the
+//     row owner, whose index the decoder already has (the per-row base
+//     from the offsets array), and zigzag folds the signed gap into an
+//     unsigned slot (predecessors are below u, successors above).
+//   - slot j>0 holds tj − tj-1, the non-negative gap to the previous
+//     target.
+//   - any value that doesn't fit below EscapeSentinel is stored as the
+//     sentinel, and the absolute int32 target goes to the row's escape
+//     list (escOff indexes it like a second CSR). Decoding continues
+//     delta-wise from the escaped target. Rows that violate the sorted
+//     contract still round-trip exactly — a negative gap just escapes.
+//
+// One uint16 slot per target means offsets are shared semantics with
+// the flat CSR: OutDegree and RowStart agree, so per-edge side tables
+// (obs link counters) index identically under either representation.
+type Compact struct {
+	offsets []int32  // len N+1, one slot per target
+	deltas  []uint16 // len M
+	escOff  []int32  // len N+1: row u's escapes are escapes[escOff[u]:escOff[u+1]]
+	escapes []int32
+}
+
+// EscapeSentinel is the delta slot value marking an escaped target.
+const EscapeSentinel = 0xFFFF
+
+// zigzag folds an int32 into an unsigned value with small magnitudes
+// small: 0→0, -1→1, 1→2, -2→3, …
+func zigzag(x int32) uint32 { return uint32((x << 1) ^ (x >> 31)) }
+
+// Unzigzag inverts zigzag. Exported for inline row decoding in routing
+// loops (see CompactRow).
+func Unzigzag(v uint32) int32 { return int32(v>>1) ^ -int32(v&1) }
+
+// Compress encodes c. The result is immutable and shares nothing with
+// the source CSR.
+func Compress(c *CSR) *Compact {
+	n := c.N()
+	z := &Compact{
+		offsets: make([]int32, n+1),
+		deltas:  make([]uint16, 0, c.M()),
+		escOff:  make([]int32, n+1),
+	}
+	for u := 0; u < n; u++ {
+		prev := int32(u)
+		for j, t := range c.Out(u) {
+			var d int64
+			if j == 0 {
+				d = int64(zigzag(t - int32(u)))
+			} else {
+				d = int64(t) - int64(prev)
+			}
+			if d >= 0 && d < EscapeSentinel {
+				z.deltas = append(z.deltas, uint16(d))
+			} else {
+				z.deltas = append(z.deltas, EscapeSentinel)
+				z.escapes = append(z.escapes, t)
+			}
+			prev = t
+		}
+		z.offsets[u+1] = int32(len(z.deltas))
+		z.escOff[u+1] = int32(len(z.escapes))
+	}
+	return z
+}
+
+// N returns the number of nodes.
+func (z *Compact) N() int { return len(z.offsets) - 1 }
+
+// M returns the number of directed edges.
+func (z *Compact) M() int { return len(z.deltas) }
+
+// OutDegree returns the out-degree of u — identical to the source
+// CSR's.
+func (z *Compact) OutDegree(u int) int { return int(z.offsets[u+1] - z.offsets[u]) }
+
+// RowStart returns the flat edge index where u's row begins, in the
+// same edge numbering as the source CSR (one slot per target), so
+// per-edge side tables carry over unchanged.
+func (z *Compact) RowStart(u int) int { return int(z.offsets[u]) }
+
+// Bytes returns the total byte footprint of the encoded adjacency.
+func (z *Compact) Bytes() int64 {
+	return int64(len(z.offsets))*4 + int64(len(z.deltas))*2 +
+		int64(len(z.escOff))*4 + int64(len(z.escapes))*4
+}
+
+// AppendOut decodes u's full row into buf (reset to length 0 first)
+// and returns it — the generic access point, used by tests and by
+// callers that need a materialized row. Routing loops decode inline
+// via Row instead, consuming each target as it is produced.
+func (z *Compact) AppendOut(u int, buf []int32) []int32 {
+	buf = buf[:0]
+	row := z.Row(u)
+	prev := row.Base
+	e := 0
+	for i, dv := range row.Deltas {
+		var t int32
+		switch {
+		case dv == EscapeSentinel:
+			t = row.Escapes[e]
+			e++
+		case i == 0:
+			t = row.Base + Unzigzag(uint32(dv))
+		default:
+			t = prev + int32(dv)
+		}
+		buf = append(buf, t)
+		prev = t
+	}
+	return buf
+}
+
+// CompactRow is one row's encoded data, exposed for inline decoding in
+// hot loops. The decode protocol, walking Deltas with a running prev
+// (initialised to Base) and an escape cursor e (initialised to 0):
+//
+//	dv == EscapeSentinel → t = Escapes[e]; e++
+//	first slot           → t = Base + Unzigzag(uint32(dv))
+//	otherwise            → t = prev + int32(dv)
+//
+// and after every slot, prev = t. Both slices alias the Compact's
+// storage and must not be modified.
+type CompactRow struct {
+	Deltas  []uint16
+	Escapes []int32
+	Base    int32
+}
+
+// Row returns u's encoded row.
+func (z *Compact) Row(u int) CompactRow {
+	return CompactRow{
+		Deltas:  z.deltas[z.offsets[u]:z.offsets[u+1]],
+		Escapes: z.escapes[z.escOff[u]:z.escOff[u+1]],
+		Base:    int32(u),
+	}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"testing"
+
+	"smallworld/xrand"
+)
+
+// buildCSR assembles a CSR from per-node rows.
+func buildCSR(rows [][]int32) *CSR {
+	offsets := make([]int32, len(rows)+1)
+	var targets []int32
+	for u, row := range rows {
+		targets = append(targets, row...)
+		offsets[u+1] = int32(len(targets))
+	}
+	return NewCSR(offsets, targets)
+}
+
+// checkRoundTrip asserts the compact encoding decodes every row of c
+// bit-identically, and that the shared-semantics surface (N, M,
+// OutDegree, RowStart) agrees.
+func checkRoundTrip(t *testing.T, c *CSR) {
+	t.Helper()
+	z := Compress(c)
+	if z.N() != c.N() || z.M() != c.M() {
+		t.Fatalf("size mismatch: compact %d/%d, flat %d/%d", z.N(), z.M(), c.N(), c.M())
+	}
+	var buf []int32
+	for u := 0; u < c.N(); u++ {
+		if z.OutDegree(u) != c.OutDegree(u) {
+			t.Fatalf("node %d: OutDegree %d != %d", u, z.OutDegree(u), c.OutDegree(u))
+		}
+		if z.RowStart(u) != c.RowStart(u) {
+			t.Fatalf("node %d: RowStart %d != %d", u, z.RowStart(u), c.RowStart(u))
+		}
+		buf = z.AppendOut(u, buf)
+		flat := c.Out(u)
+		if len(buf) != len(flat) {
+			t.Fatalf("node %d: decoded %d targets, want %d", u, len(buf), len(flat))
+		}
+		for j := range flat {
+			if buf[j] != flat[j] {
+				t.Fatalf("node %d slot %d: decoded %d, want %d (row %v)", u, j, buf[j], flat[j], flat)
+			}
+		}
+	}
+	if z.Bytes() <= 0 && c.M() > 0 {
+		t.Fatalf("Bytes() = %d with %d edges", z.Bytes(), c.M())
+	}
+}
+
+// TestCompactRoundTripRandom round-trips randomly generated graphs:
+// sorted rows mixing rank-local targets (uint16-deltas) with far links
+// (escapes), at sizes crossing the one-chunk and multi-escape regimes.
+func TestCompactRoundTripRandom(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		if trial%3 == 0 {
+			n = 1 + rng.Intn(200_000) // sparse huge index range → far links
+		}
+		rows := make([][]int32, n)
+		for u := range rows {
+			deg := rng.Intn(8)
+			if rng.Bool(0.1) {
+				deg = 0 // empty rows
+			}
+			row := make([]int32, 0, deg)
+			for j := 0; j < deg; j++ {
+				var v int32
+				if rng.Bool(0.5) {
+					// Rank-local: within a few thousand of u.
+					v = int32(u) + int32(rng.Intn(8192)) - 4096
+				} else {
+					// Anywhere: likely a far link at large n.
+					v = int32(rng.Intn(n))
+				}
+				if v < 0 {
+					v = 0
+				}
+				if v >= int32(n) {
+					v = int32(n) - 1
+				}
+				row = append(row, v)
+			}
+			sortInt32(row)
+			rows[u] = row
+		}
+		checkRoundTrip(t, buildCSR(rows))
+	}
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TestCompactEdgeCases pins the deliberate corners: tiny populations,
+// all-empty graphs, duplicate targets, unsorted rows (the encoder must
+// still round-trip them — a negative gap escapes), and gaps exactly at
+// the uint16 escape boundary on both the first-slot zigzag path and
+// the follow-on delta path.
+func TestCompactEdgeCases(t *testing.T) {
+	// N ∈ {1, 2, 3}.
+	checkRoundTrip(t, buildCSR([][]int32{{}}))
+	checkRoundTrip(t, buildCSR([][]int32{{0}}))
+	checkRoundTrip(t, buildCSR([][]int32{{1}, {0}}))
+	checkRoundTrip(t, buildCSR([][]int32{{1, 2}, {0, 2}, {0, 1}}))
+	checkRoundTrip(t, buildCSR([][]int32{{}, {}, {}}))
+
+	// Duplicate targets and an unsorted row.
+	checkRoundTrip(t, buildCSR([][]int32{{1, 1, 1}, {0, 0}}))
+	checkRoundTrip(t, buildCSR([][]int32{{2, 0, 1}, {}, {}}))
+
+	// Escape boundaries. Slot 0 stores zigzag(t0-u): gap +32767 →
+	// 65534 (the last value that fits), gap -32768 → 65535 (the
+	// sentinel itself, must escape). Follow-on slots store the raw gap:
+	// 65534 fits, 65535 and 65536 escape.
+	n := 200_000
+	u0 := 100_000
+	rows := make([][]int32, n)
+	rows[u0] = []int32{int32(u0) + 32767}                          // zigzag fits exactly
+	rows[u0+1] = []int32{int32(u0+1) - 32768}                      // zigzag hits sentinel → escape
+	rows[u0+2] = []int32{int32(u0+2) - 32769}                      // beyond → escape
+	rows[u0+3] = []int32{0, 65534}                                 // follow-on gap fits exactly
+	rows[u0+4] = []int32{0, 65535}                                 // follow-on gap = sentinel → escape
+	rows[u0+5] = []int32{0, 65536}                                 // follow-on gap overflows → escape
+	rows[u0+6] = []int32{0, 65534, 131068, 131069}                 // chained fits
+	rows[u0+7] = []int32{3, 70000, 70001, 199999}                  // escape then local deltas then escape
+	rows[0] = []int32{0, 1, 2, int32(n) - 1}                       // far link from the bottom
+	rows[n-1] = []int32{0, int32(n) - 2}                           // far link from the top
+	rows[1] = []int32{int32(n) - 1, int32(n) - 2, int32(n) - 3, 0} // unsorted far row
+	checkRoundTrip(t, buildCSR(rows))
+}

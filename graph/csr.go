@@ -63,14 +63,62 @@ func (c *CSR) HasEdge(u, v int) bool {
 	return i < len(row) && row[i] == int32(v)
 }
 
+// Scratch holds the reusable buffers of the BFS/Reverse analysis
+// family, so repeated analyses (connectivity sweeps, path-length
+// sampling at 2^22) run without per-call O(N+M) allocations. A zero
+// Scratch is ready to use; buffers grow on demand and are retained.
+// Not safe for concurrent use — hold one per goroutine.
+type Scratch struct {
+	dist  []int
+	queue []int32
+
+	// Reverse buffers: ReverseWith returns a CSR backed by these, so
+	// the result is only valid until the next ReverseWith on the same
+	// Scratch. Analyses that need the transpose to outlive the scratch
+	// must use Reverse().
+	revOffsets []int32
+	revTargets []int32
+	fill       []int32
+}
+
+// bfsBuffers returns dist/queue sized for n nodes.
+func (s *Scratch) bfsBuffers(n int) ([]int, []int32) {
+	if cap(s.dist) < n {
+		s.dist = make([]int, n)
+	}
+	s.dist = s.dist[:n]
+	if cap(s.queue) < n {
+		s.queue = make([]int32, 0, n)
+	}
+	return s.dist, s.queue[:0]
+}
+
 // Reverse returns the CSR with every edge flipped. Built with a counting
 // pass over the offsets, so rows come out sorted without an extra sort.
 func (c *CSR) Reverse() *CSR {
-	n := c.N()
-	r := &CSR{
-		offsets: make([]int32, n+1),
-		targets: make([]int32, len(c.targets)),
+	return c.ReverseWith(&Scratch{})
+}
+
+// ReverseWith is Reverse reusing s's buffers. The returned CSR aliases
+// the scratch and is overwritten by the next ReverseWith on s.
+func (c *CSR) ReverseWith(s *Scratch) *CSR {
+	n, m := c.N(), len(c.targets)
+	if cap(s.revOffsets) < n+1 {
+		s.revOffsets = make([]int32, n+1)
 	}
+	s.revOffsets = s.revOffsets[:n+1]
+	for i := range s.revOffsets {
+		s.revOffsets[i] = 0
+	}
+	if cap(s.revTargets) < m {
+		s.revTargets = make([]int32, m)
+	}
+	s.revTargets = s.revTargets[:m]
+	if cap(s.fill) < n {
+		s.fill = make([]int32, n)
+	}
+	s.fill = s.fill[:n]
+	r := &CSR{offsets: s.revOffsets, targets: s.revTargets}
 	for _, v := range c.targets {
 		r.offsets[v+1]++
 	}
@@ -78,12 +126,11 @@ func (c *CSR) Reverse() *CSR {
 		r.offsets[u+1] += r.offsets[u]
 	}
 	// fill points at the next free slot of each reversed row.
-	fill := make([]int32, n)
-	copy(fill, r.offsets[:n])
+	copy(s.fill, r.offsets[:n])
 	for u := 0; u < n; u++ {
 		for _, v := range c.Out(u) {
-			r.targets[fill[v]] = int32(u)
-			fill[v]++
+			r.targets[s.fill[v]] = int32(u)
+			s.fill[v]++
 		}
 	}
 	return r
@@ -93,6 +140,14 @@ func (c *CSR) Reverse() *CSR {
 func (c *CSR) BFS(src int) []int {
 	dist := make([]int, c.N())
 	queue := make([]int32, 0, c.N())
+	c.bfsInto(src, dist, queue)
+	return dist
+}
+
+// BFSWith is BFS reusing s's buffers. The returned slice aliases the
+// scratch and is overwritten by the next BFSWith on s.
+func (c *CSR) BFSWith(src int, s *Scratch) []int {
+	dist, queue := s.bfsBuffers(c.N())
 	c.bfsInto(src, dist, queue)
 	return dist
 }
@@ -123,15 +178,21 @@ func (c *CSR) bfsInto(src int, dist []int, queue []int32) {
 // which is exact for strong connectivity. An empty graph is connected;
 // a single node is connected.
 func (c *CSR) StronglyConnected() bool {
+	return c.StronglyConnectedWith(&Scratch{})
+}
+
+// StronglyConnectedWith is StronglyConnected reusing s's buffers.
+func (c *CSR) StronglyConnectedWith(s *Scratch) bool {
 	if c.N() <= 1 {
 		return true
 	}
-	for _, d := range c.BFS(0) {
+	for _, d := range c.BFSWith(0, s) {
 		if d == -1 {
 			return false
 		}
 	}
-	for _, d := range c.Reverse().BFS(0) {
+	rev := c.ReverseWith(s)
+	for _, d := range rev.BFSWith(0, s) {
 		if d == -1 {
 			return false
 		}
@@ -189,7 +250,14 @@ func (c *CSR) ClusteringCoefficient() float64 {
 // all reachable nodes. It also reports the largest distance seen
 // (a lower bound on the diameter). BFS scratch is allocated once and
 // reused across sources.
-func (c *CSR) PathLengthStats(r *xrand.Stream, samples int) (s metrics.Summary, maxDist int) {
+func (c *CSR) PathLengthStats(r *xrand.Stream, samples int) (metrics.Summary, int) {
+	return c.PathLengthStatsWith(r, samples, &Scratch{})
+}
+
+// PathLengthStatsWith is PathLengthStats reusing sc's BFS buffers, so
+// repeated analyses (a beta sweep, the E20 frontier at 2^22) don't
+// allocate a fresh N-sized dist/queue pair per call.
+func (c *CSR) PathLengthStatsWith(r *xrand.Stream, samples int, sc *Scratch) (s metrics.Summary, maxDist int) {
 	n := c.N()
 	if n == 0 || samples <= 0 {
 		return
@@ -197,8 +265,7 @@ func (c *CSR) PathLengthStats(r *xrand.Stream, samples int) (s metrics.Summary, 
 	if samples > n {
 		samples = n
 	}
-	dist := make([]int, n)
-	queue := make([]int32, 0, n)
+	dist, queue := sc.bfsBuffers(n)
 	for _, src := range r.Perm(n)[:samples] {
 		c.bfsInto(src, dist, queue)
 		for v, d := range dist {

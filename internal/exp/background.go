@@ -2,6 +2,7 @@ package exp
 
 import (
 	"smallworld"
+	"smallworld/graph"
 	"smallworld/internal/lattice"
 	"smallworld/internal/wattsstrogatz"
 	"smallworld/keyspace"
@@ -26,13 +27,16 @@ func E16WattsStrogatz(scale Scale, seed uint64) Table {
 		n = 512
 	}
 	q := queriesFor(scale)
+	// Every graph in the sweep has the same N, so one BFS scratch serves
+	// the whole p loop.
+	var sc graph.Scratch
 	for _, p := range []float64{0, 0.01, 0.05, 0.1, 0.5, 1} {
 		nw, err := wattsstrogatz.Build(wattsstrogatz.Config{N: n, K: k, P: p, Seed: seed})
 		if err != nil {
 			t.AddNote("build failed: %v", err)
 			continue
 		}
-		clustering, bfs := nw.Stats(xrand.New(seed+1), 24)
+		clustering, bfs := nw.StatsWith(xrand.New(seed+1), 24, &sc)
 		r := xrand.New(seed + 2)
 		var hops metrics.Summary
 		arrived := 0

@@ -29,18 +29,29 @@ func E21ServeUnderChurn(scale Scale, seed uint64) Table {
 		Columns: []string{"N", "workers", "churn/s", "events", "qps", "meanHops", "p99Hops",
 			"latP99µs", "epochs", "nodes"},
 	}
-	sizes := []int{16384}
-	workerSweep := []int{1, 2, 4}
+	type sweep struct {
+		n       int
+		workers []int
+	}
+	sweeps := []sweep{{16384, []int{1, 2, 4}}}
 	duration := 300 * time.Millisecond
 	if scale == Full {
-		sizes = []int{65536, 1048576}
-		workerSweep = []int{1, 2, 4, 8}
+		// The 2^22 row gets a reduced sweep: one concurrency point is
+		// enough to place the frontier (each full-scale build costs
+		// minutes, and the worker-scaling shape is already pinned by the
+		// smaller sizes).
+		sweeps = []sweep{
+			{65536, []int{1, 2, 4, 8}},
+			{1048576, []int{1, 2, 4, 8}},
+			{4194304, []int{4}},
+		}
 		duration = time.Second
 	}
 	ctx := context.Background()
 	d := dist.NewPower(0.7)
-	for i, n := range sizes {
-		for _, workers := range workerSweep {
+	for i, sw := range sweeps {
+		n := sw.n
+		for _, workers := range sw.workers {
 			for _, churnFrac := range []float64{0, 0.02} {
 				dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", overlaynet.Options{
 					N: n, Seed: seed + uint64(i), Dist: d, Topology: keyspace.Ring,

@@ -126,8 +126,15 @@ func (nw *Network) Route(src, dst int) (hops, last int, arrived bool) {
 // (sampled over `samples` BFS sources). The graph is frozen to its flat
 // CSR form once and both traversals iterate that.
 func (nw *Network) Stats(r *xrand.Stream, samples int) (clustering, meanPath float64) {
+	return nw.StatsWith(r, samples, &graph.Scratch{})
+}
+
+// StatsWith is Stats reusing sc's BFS buffers, so a sweep over many
+// graphs of the same size (E16's rewiring-probability sweep) allocates
+// its dist/queue scratch once instead of per graph.
+func (nw *Network) StatsWith(r *xrand.Stream, samples int, sc *graph.Scratch) (clustering, meanPath float64) {
 	csr := nw.g.Freeze()
 	clustering = csr.ClusteringCoefficient()
-	s, _ := csr.PathLengthStats(r, samples)
+	s, _ := csr.PathLengthStatsWith(r, samples, sc)
 	return clustering, s.Mean()
 }

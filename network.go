@@ -32,6 +32,14 @@ type Network struct {
 	gMu sync.Mutex
 	g   *graph.Graph
 
+	// Compact adjacency (delta-encoded uint16 rows, see graph.Compact),
+	// built lazily by CompactCSR and selected into the greedy routers by
+	// SetCompactRouting. The toggle is atomic so routers on other
+	// goroutines observe it without a lock.
+	ccsrOnce     sync.Once
+	ccsr         *graph.Compact
+	compactRoute atomic.Bool
+
 	routers sync.Pool // *Router scratch for the allocating convenience API
 
 	// Observability installed by SetObs; inherited by routers created
@@ -316,6 +324,32 @@ func (nw *Network) Graph() *graph.Graph {
 // graph — the flat adjacency every routing hot path iterates. It must
 // not be modified.
 func (nw *Network) CSR() *graph.CSR { return nw.csr }
+
+// CompactCSR returns the delta-encoded compact form of the adjacency
+// (built once, on first call). It decodes to exactly the same rows as
+// CSR() — same targets, same order, same edge numbering — at roughly
+// half the bytes; see graph.Compact for the encoding.
+func (nw *Network) CompactCSR() *graph.Compact {
+	nw.ccsrOnce.Do(func() { nw.ccsr = graph.Compress(nw.csr) })
+	return nw.ccsr
+}
+
+// SetCompactRouting selects which adjacency representation the greedy
+// routers iterate: the flat CSR (default) or the compact delta-encoded
+// form. Routing decisions are identical under either — the compact
+// loops decode the same sorted rows and run the same distance and
+// tie-break logic — only the bytes streamed per hop change. Enabling
+// it forces the one-time Compress.
+func (nw *Network) SetCompactRouting(on bool) {
+	if on {
+		nw.CompactCSR()
+	}
+	nw.compactRoute.Store(on)
+}
+
+// CompactRouting reports whether the greedy routers iterate the
+// compact adjacency.
+func (nw *Network) CompactRouting() bool { return nw.compactRoute.Load() }
 
 // LongRange returns node u's long-range targets. The slice must not be
 // modified.

@@ -82,6 +82,8 @@ func NewIncremental(ctx context.Context, name string, opts Options) (Dynamic, er
 	for rank := 0; rank < n; rank++ {
 		o.wireRank(rank)
 	}
+	o.keysM = newKeyStore(o.keys)
+	o.rankM = newRankStore(o.byKey, o.order)
 	return o, nil
 }
 
@@ -120,6 +122,15 @@ type incrementalOverlay struct {
 	// slot holding byKey[i].
 	byKey keyspace.Points
 	order []int32
+
+	// Chunked copy-on-write mirrors of keys and (byKey, order), written
+	// through on every mutation. CaptureSnapshot shares them into the
+	// published Snapshot for O(spine) cost instead of O(N) flat copies;
+	// the flat fields above remain the live read path (Keys, rankOf,
+	// the drawTarget NearestExcluding probe) so every existing read
+	// stays bit-identical and O(1).
+	keysM *keyStore
+	rankM *rankStore
 
 	// Adjacency the routers read: compacted base + rows touched since.
 	csr     *graph.CSR
@@ -300,18 +311,37 @@ func (o *incrementalOverlay) Topology() keyspace.Topology { return o.topo }
 // CaptureSnapshot implements Snapshotter: fold any pending delta rows
 // into the base CSR, then share that CSR with the snapshot (it is
 // immutable; future compactions replace the pointer rather than the
-// array). Only the identifier array and the rank index are copied, so a
-// capture at the compaction boundary — where Publisher's default epoch
-// cadence lands — costs O(N), not O(N+M).
+// array). The identifier array and the rank index are shared
+// structurally through the chunked COW mirrors — the capture copies
+// only the chunk spines, O(Δ·chunk + N/chunk) amortised per epoch
+// instead of the former O(N) flat copies, which is what keeps
+// publish cost flat as N grows (see BenchmarkPublishEpoch).
 func (o *incrementalOverlay) CaptureSnapshot() *Snapshot {
 	if len(o.delta) > 0 {
 		o.compactNow()
 	}
 	return &Snapshot{
-		kind:  o.kind,
-		topo:  o.topo,
+		kind: o.kind,
+		topo: o.topo,
+		keys: o.keysM.capture(),
+		csr:  o.csr,
+		rank: o.rankM.capture(),
+	}
+}
+
+// flatCapture is the PR8-era O(N) per-epoch copy, retained as the
+// paired A/B baseline: BenchmarkPublishEpoch measures it against the
+// structural-sharing capture, and the epoch-sequence test uses it as
+// the bit-identical flat reference for every published epoch.
+type flatCapture struct {
+	keys  []keyspace.Key
+	byKey keyspace.Points
+	order []int32
+}
+
+func (o *incrementalOverlay) captureFlat() flatCapture {
+	return flatCapture{
 		keys:  append([]keyspace.Key(nil), o.keys...),
-		csr:   o.csr,
 		byKey: append(keyspace.Points(nil), o.byKey...),
 		order: append([]int32(nil), o.order...),
 	}
@@ -329,6 +359,7 @@ func (o *incrementalOverlay) Join(ctx context.Context) error {
 	}
 	id := int32(len(o.keys))
 	o.keys = append(o.keys, k)
+	o.keysM.push(k)
 	o.long = append(o.long, nil)
 	o.in = append(o.in, nil)
 	o.succ = append(o.succ, -1)
@@ -341,6 +372,7 @@ func (o *incrementalOverlay) Join(ctx context.Context) error {
 	o.order = append(o.order, 0)
 	copy(o.order[rank+1:], o.order[rank:])
 	o.order[rank] = id
+	o.rankM.insert(rank, k, id)
 
 	n := len(o.order)
 	o.wireRank((rank - 1 + n) % n)
@@ -505,6 +537,7 @@ func (o *incrementalOverlay) Leave(ctx context.Context, u int) error {
 	o.byKey = o.byKey[:n-1]
 	copy(o.order[rank:], o.order[rank+1:])
 	o.order = o.order[:n-1]
+	o.rankM.remove(rank)
 	nn := n - 1
 	o.wireRank((rank - 1 + nn) % nn)
 	o.wireRank(rank % nn)
@@ -518,11 +551,14 @@ func (o *incrementalOverlay) Leave(ctx context.Context, u int) error {
 	last := int32(n - 1)
 	if uid != last {
 		o.keys[uid] = o.keys[last]
+		o.keysM.set(int(uid), o.keys[last])
 		o.long[uid] = o.long[last]
 		o.in[uid] = o.in[last]
 		o.succ[uid] = o.succ[last]
 		o.pred[uid] = o.pred[last]
-		o.order[o.rankOf(int(last))] = uid
+		lastRank := o.rankOf(int(last))
+		o.order[lastRank] = uid
+		o.rankM.setSlot(lastRank, uid)
 		if p := o.pred[uid]; p >= 0 {
 			o.succ[p] = uid
 			o.markDirty(p)
@@ -546,6 +582,7 @@ func (o *incrementalOverlay) Leave(ctx context.Context, u int) error {
 		o.markDirty(uid)
 	}
 	o.keys = o.keys[:n-1]
+	o.keysM.pop()
 	o.long = o.long[:n-1]
 	o.in = o.in[:n-1]
 	o.succ = o.succ[:n-1]

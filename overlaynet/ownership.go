@@ -1,8 +1,6 @@
 package overlaynet
 
 import (
-	"sort"
-
 	"smallworld/keyspace"
 )
 
@@ -18,10 +16,10 @@ import (
 // (see keyspace.Cell), so a key is owned by exactly one slot of any
 // given snapshot. An out-of-range slot yields the empty interval.
 func OwnedRange(s *Snapshot, u int) keyspace.Interval {
-	if s == nil || u < 0 || u >= len(s.keys) {
+	if s == nil || u < 0 || u >= s.keys.n {
 		return keyspace.Interval{}
 	}
-	return keyspace.Cell(s.topo, s.byKey, s.rankOf(u))
+	return keyspace.Cell(s.topo, s.SortedKeys(), s.rankOf(u))
 }
 
 // rankOf returns slot u's position in the ascending rank index. Binary
@@ -29,13 +27,12 @@ func OwnedRange(s *Snapshot, u int) keyspace.Interval {
 // identifiers (possible only transiently) are resolved by scanning the
 // equal run for the slot itself.
 func (s *Snapshot) rankOf(u int) int {
-	k := s.keys[u]
-	i := sort.Search(len(s.byKey), func(j int) bool { return s.byKey[j] >= k })
-	for ; i < len(s.order); i++ {
-		if int(s.order[i]) == u {
+	k := s.keys.At(u)
+	for i := s.rank.succIdx(k); i < s.rank.n; i++ {
+		if int(s.rank.SlotAt(i)) == u {
 			return i
 		}
-		if s.byKey[i] != k {
+		if s.rank.KeyAt(i) != k {
 			break
 		}
 	}
@@ -43,8 +40,17 @@ func (s *Snapshot) rankOf(u int) int {
 }
 
 // SortedKeys returns the snapshot's identifiers in ascending key order —
-// the population the ownership math runs over. Read-only.
-func (s *Snapshot) SortedKeys() keyspace.Points { return s.byKey }
+// the population the ownership math runs over. Read-only. Like Keys,
+// the flat Points is materialized from the chunked rank index on first
+// call and cached for the snapshot's lifetime.
+func (s *Snapshot) SortedKeys() keyspace.Points {
+	if p := s.flatSorted.Load(); p != nil {
+		return *p
+	}
+	flat := s.rank.materializeKeys()
+	s.flatSorted.Store(&flat)
+	return flat
+}
 
 // OwnershipChange is one typed transfer of responsibility, emitted by
 // dynamic overlays that implement OwnershipReporter. A membership event

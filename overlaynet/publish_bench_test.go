@@ -1,0 +1,105 @@
+package overlaynet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// BenchmarkPublishEpoch is the paired A/B measurement behind the
+// structural-sharing tentpole: the per-epoch cost of capturing a
+// snapshot after 64 membership events (the default epoch boundary),
+// through the chunked copy-on-write path versus the PR8-era flat copy
+// of keys + byKey + order. The 64 events are applied outside the
+// timer, followed by a GC checkpoint so collector assists owed to the
+// churn's garbage are never paid inside the timed window; the number
+// is purely the capture — O(Δ·chunk + N/chunk) chunked vs O(N) flat.
+// Set SW_PUBLISH_BENCH_FULL=1 to extend the size sweep to 2^22 (the
+// PERFORMANCE.md frontier run).
+func BenchmarkPublishEpoch(b *testing.B) {
+	sizes := []int{1 << 16, 1 << 18, 1 << 20}
+	if os.Getenv("SW_PUBLISH_BENCH_FULL") != "" {
+		sizes = append(sizes, 1<<22)
+	}
+	for _, n := range sizes {
+		o := publishBenchOverlay(b, n)
+		b.Run(fmt.Sprintf("chunked/n=%d", n), func(b *testing.B) {
+			rng := xrand.New(uint64(n) + 5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				publishBenchChurn(b, o, rng)
+				runtime.GC()
+				b.StartTimer()
+				benchSnapSink = o.CaptureSnapshot()
+			}
+		})
+		b.Run(fmt.Sprintf("flatcopy/n=%d", n), func(b *testing.B) {
+			rng := xrand.New(uint64(n) + 7)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				publishBenchChurn(b, o, rng)
+				runtime.GC()
+				b.StartTimer()
+				benchFlatSink = o.captureFlat()
+			}
+		})
+	}
+}
+
+var (
+	benchSnapSink *Snapshot
+	benchFlatSink flatCapture
+
+	publishBenchMu    sync.Mutex
+	publishBenchCache = map[int]*incrementalOverlay{}
+)
+
+// publishBenchOverlay builds (once per size, cached across the A/B
+// pair — construction at 2^20 costs seconds and is not what is being
+// measured) an incremental overlay of n nodes.
+func publishBenchOverlay(b *testing.B, n int) *incrementalOverlay {
+	b.Helper()
+	publishBenchMu.Lock()
+	defer publishBenchMu.Unlock()
+	if o, ok := publishBenchCache[n]; ok {
+		return o
+	}
+	dyn, err := NewIncremental(context.Background(), "smallworld-skewed", Options{
+		N: n, Seed: 9, Dist: dist.NewPower(0.7), Topology: keyspace.Ring,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := dyn.(*incrementalOverlay)
+	publishBenchCache[n] = o
+	return o
+}
+
+// publishBenchChurn applies exactly one epoch's worth of membership
+// events (64, half joins / half leaves, population stays ~n). The
+// count matches defaultCompactEvery, so the delta fold lands inside
+// afterEvent and the timed capture is the pure epoch-boundary cost —
+// exactly where Publisher's default cadence takes it.
+func publishBenchChurn(b *testing.B, o *incrementalOverlay, rng *xrand.Stream) {
+	b.Helper()
+	for ev := 0; ev < defaultCompactEvery; ev++ {
+		if ev%2 == 0 {
+			if err := o.Join(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := o.Leave(context.Background(), rng.Intn(o.N())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

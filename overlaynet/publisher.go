@@ -61,6 +61,19 @@ type Publisher struct {
 	vantage    keyspace.Key
 	hasVantage bool
 
+	// Fault-mask reuse state. A published mask is immutable and may be
+	// pinned by readers on arbitrarily old epochs, so it is never
+	// recycled in place — instead publishLocked SHARES the previous
+	// snapshot's mask object whenever nothing it depends on changed:
+	// the plane's fault epoch, the vantage, and the key population
+	// (checked by chunk-pointer identity of the snapshots' key spines —
+	// chunks are immutable once shared, so pointer-equal spines imply
+	// identical identifiers even when membership events bypassed the
+	// Publisher's own mutators). maskVantage records the vantage the
+	// last-built mask was derived from.
+	maskVantage    keyspace.Key
+	maskHasVantage bool
+
 	obsReg    *obs.Registry
 	obsTracer *obs.Tracer
 	obsHint   obs.Hint
@@ -169,11 +182,47 @@ func (p *Publisher) publishLocked() {
 	s := NewSnapshot(p.dyn)
 	s.epoch = p.epoch
 	if p.faults != nil {
-		s.faults = buildFaultMask(s, p.faults, p.vantage, p.hasVantage)
+		s.faults = p.faultMaskLocked(s)
 	}
 	p.attachObsLocked(s)
 	p.cur.Store(s)
 	p.pending = 0
+}
+
+// faultMaskLocked returns the fault mask for a snapshot being
+// published: the previous snapshot's mask object when every input it
+// was derived from is unchanged (fault epoch, vantage, membership),
+// a freshly built one otherwise. Sharing keeps the no-change publish
+// path free of the O(N) mask allocation AND the O(N) plane scan;
+// snapshots stay immutable because the shared object is never written
+// after its first publication.
+func (p *Publisher) faultMaskLocked(s *Snapshot) *snapFaults {
+	if prev := p.cur.Load(); prev != nil && prev.faults != nil &&
+		prev.faults.epoch == p.faults.FaultEpoch() &&
+		p.maskVantage == p.vantage && p.maskHasVantage == p.hasVantage &&
+		equalKeyViews(prev.keys, s.keys) {
+		return prev.faults
+	}
+	f := buildFaultMask(s, p.faults, p.vantage, p.hasVantage)
+	p.maskVantage, p.maskHasVantage = p.vantage, p.hasVantage
+	return f
+}
+
+// equalKeyViews reports whether two key views hold identical contents,
+// by chunk-pointer identity — O(N/chunk) compares, no key reads.
+// Pointer-equal chunks cannot differ (chunks are copy-on-write and
+// never mutated once shared); pointer-unequal chunks MAY still be
+// equal, which only costs a conservative rebuild.
+func equalKeyViews(a, b keyView) bool {
+	if a.n != b.n || len(a.spine) != len(b.spine) {
+		return false
+	}
+	for j := range a.spine {
+		if a.spine[j] != b.spine[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // afterEventLocked advances the event counter and publishes at the

@@ -32,22 +32,27 @@ func newTestPublisher(t *testing.T, n int, opts ...PublisherOption) *Publisher {
 // permutation, and every adjacency target is in range.
 func checkSnapshotIntact(t *testing.T, s *Snapshot) {
 	t.Helper()
-	n := len(s.keys)
-	if s.csr.N() != n || len(s.byKey) != n || len(s.order) != n {
-		t.Fatalf("torn snapshot: keys %d, csr %d, byKey %d, order %d",
-			n, s.csr.N(), len(s.byKey), len(s.order))
+	n := s.keys.n
+	if s.csr.N() != n || s.rank.n != n {
+		t.Fatalf("torn snapshot: keys %d, csr %d, rank %d",
+			n, s.csr.N(), s.rank.n)
 	}
+	byKey := s.rank.materializeKeys()
+	order := s.rank.materializeSlots()
 	seen := make(map[int32]bool, n)
-	for rank, id := range s.order {
+	for rank, id := range order {
 		if id < 0 || int(id) >= n || seen[id] {
 			t.Fatalf("rank index corrupt at %d: slot %d", rank, id)
 		}
 		seen[id] = true
-		if s.keys[id] != s.byKey[rank] {
-			t.Fatalf("rank %d: byKey %v != keys[%d] %v", rank, s.byKey[rank], id, s.keys[id])
+		if s.keys.At(int(id)) != byKey[rank] {
+			t.Fatalf("rank %d: byKey %v != keys[%d] %v", rank, byKey[rank], id, s.keys.At(int(id)))
 		}
-		if rank > 0 && s.byKey[rank] < s.byKey[rank-1] {
+		if rank > 0 && byKey[rank] < byKey[rank-1] {
 			t.Fatalf("rank index not sorted at %d", rank)
+		}
+		if s.rank.KeyAt(rank) != byKey[rank] || s.rank.SlotAt(rank) != id {
+			t.Fatalf("rank view disagrees with its own materialization at %d", rank)
 		}
 	}
 	for u := 0; u < n; u++ {

@@ -271,10 +271,13 @@ func (r *RobustRouter) Route(src int, target keyspace.Key) Result {
 	return Result{Hops: rr.Hops, Dest: rr.Dest, Arrived: rr.Outcome.Arrived()}
 }
 
-// keysView returns the identifier slice the router routes over.
+// keysView returns the identifier slice the router routes over. For a
+// pinned snapshot this is the lazily-materialized flat copy — built
+// once per snapshot and cached, so re-pinning within an epoch stays
+// allocation-free.
 func (r *RobustRouter) keysView() []keyspace.Key {
 	if r.snap != nil {
-		return r.snap.keys
+		return r.snap.Keys()
 	}
 	return r.ov.Keys()
 }
@@ -503,8 +506,8 @@ func (r *RobustRouter) classifyStop(res RobustResult, cur int, dCur float64, tar
 	arrivedClean := false
 	if r.snap != nil {
 		s := r.snap
-		if i := s.byKey.Nearest(s.topo, target); i >= 0 {
-			arrivedClean = dCur <= s.topo.Distance(s.byKey[i], target)
+		if i := s.rank.Nearest(s.topo, target); i >= 0 {
+			arrivedClean = dCur <= s.topo.Distance(s.rank.KeyAt(i), target)
 		}
 	} else {
 		best := r.topo.MaxDistance() + 1
@@ -551,20 +554,20 @@ func (r *RobustRouter) nearestLiveDistance(target keyspace.Key, keys []keyspace.
 		// around the target, not N (same argument as the snapshot's own
 		// nearestLiveDistance).
 		s := r.snap
-		n := len(s.byKey)
+		n := s.rank.n
 		if n == 0 {
 			return 0, false
 		}
-		start := s.byKey.Nearest(s.topo, target)
+		start := s.rank.Nearest(s.topo, target)
 		deadAt := func(i int) bool {
-			if hasMask && s.faults.dead[s.order[i]] {
+			if hasMask && s.faults.dead[s.rank.SlotAt(i)] {
 				return true
 			}
-			return r.oracle != nil && r.oracle.Dead(s.byKey[i])
+			return r.oracle != nil && r.oracle.Dead(s.rank.KeyAt(i))
 		}
 		for step, i := 0, start; step < n; step++ {
 			if !deadAt(i) {
-				if d := s.topo.Distance(s.byKey[i], target); d < best {
+				if d := s.topo.Distance(s.rank.KeyAt(i), target); d < best {
 					best, found = d, true
 				}
 				break
@@ -579,7 +582,7 @@ func (r *RobustRouter) nearestLiveDistance(target keyspace.Key, keys []keyspace.
 		}
 		for step, i := 0, start; step < n; step++ {
 			if !deadAt(i) {
-				if d := s.topo.Distance(s.byKey[i], target); d < best {
+				if d := s.topo.Distance(s.rank.KeyAt(i), target); d < best {
 					best, found = d, true
 				}
 				break

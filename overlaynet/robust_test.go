@@ -168,7 +168,7 @@ func TestRobustRouterPartitionUnroutable(t *testing.T) {
 	srcs, targets := robustPairs(s, 10, 1000)
 	for i := range srcs {
 		srcComp := m.Component(s.Key(srcs[i]))
-		dstComp := m.Component(s.byKey[s.byKey.Nearest(s.topo, targets[i])])
+		dstComp := m.Component(s.rank.KeyAt(s.rank.Nearest(s.topo, targets[i])))
 		res := rr.RouteRobust(srcs[i], targets[i])
 		if srcComp != dstComp {
 			cross++

@@ -87,8 +87,21 @@ type QueryRunner struct {
 
 	routers []Router
 	hops    []float64
-	arrived []int // per-worker arrival counts, padded writes avoided by locality
-	done    []int // per-worker executed counts
+	cells   []workerCell // per-worker counters, one padded cell each
+}
+
+// workerCell is one worker's batch counters, padded so adjacent
+// workers' cells never share a cache line. The previous layout — two
+// parallel []int arrays — packed eight workers' counters into one
+// 64-byte line, so every worker's final write (and the spurious
+// coherence traffic the hardware prefetcher adds on the adjacent line)
+// invalidated every other worker's copy; at 4+ workers that coherence
+// ping-pong was the first thing to break linear scaling. 128 bytes
+// covers the adjacent-line prefetch pairing on current x86 cores.
+type workerCell struct {
+	arrived int
+	done    int
+	_       [112]byte
 }
 
 // NewQueryRunner returns a runner over ov with the given options
@@ -140,13 +153,11 @@ func (qr *QueryRunner) Run(ctx context.Context, qs []Query) (Batch, error) {
 	for len(qr.routers) < workers {
 		qr.routers = append(qr.routers, qr.ov.NewRouter())
 	}
-	if len(qr.arrived) < workers {
-		qr.arrived = make([]int, workers)
-		qr.done = make([]int, workers)
+	if len(qr.cells) < workers {
+		qr.cells = make([]workerCell, workers)
 	}
 	for w := 0; w < workers; w++ {
-		qr.arrived[w] = 0
-		qr.done[w] = 0
+		qr.cells[w] = workerCell{}
 	}
 
 	if workers == 1 {
@@ -171,8 +182,8 @@ func (qr *QueryRunner) Run(ctx context.Context, qs []Query) (Batch, error) {
 
 	batch := Batch{Hops: qr.hops}
 	for w := 0; w < workers; w++ {
-		batch.Arrived += qr.arrived[w]
-		batch.Executed += qr.done[w]
+		batch.Arrived += qr.cells[w].arrived
+		batch.Executed += qr.cells[w].done
 	}
 	if err := ctx.Err(); err != nil {
 		return batch, err
@@ -197,8 +208,8 @@ func (qr *QueryRunner) runChunk(ctx context.Context, qs []Query, lo, hi, w int) 
 		}
 		done++
 	}
-	qr.arrived[w] = arrived
-	qr.done[w] = done
+	qr.cells[w].arrived = arrived
+	qr.cells[w].done = done
 }
 
 // RandomPairs returns count node-to-node queries over ov, drawn

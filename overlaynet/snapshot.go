@@ -23,10 +23,18 @@ type Snapshot struct {
 	kind  string
 	epoch uint64
 	topo  keyspace.Topology
-	keys  []keyspace.Key  // identifier per slot
-	csr   *graph.CSR      // full out-adjacency at capture time
-	byKey keyspace.Points // identifiers in ascending key order
-	order []int32         // order[i] = slot holding byKey[i]
+	keys  keyView    // identifier per slot (chunked, structurally shared)
+	csr   *graph.CSR // full out-adjacency at capture time
+	rank  rankView   // sorted rank index: rank→(key, slot), chunked
+
+	// Lazily-materialized flat copies for compatibility callers
+	// (Overlay.Keys, the store's SortedKeys). Built at most once per
+	// snapshot and cached; the store is an atomic pointer only because
+	// two readers may materialize concurrently — both results are
+	// identical, so the race is benign. Never touched by the routing
+	// hot paths, which read the chunked views directly.
+	flatKeys   atomic.Pointer[[]keyspace.Key]
+	flatSorted atomic.Pointer[keyspace.Points]
 
 	// src, when non-nil, is a retained *immutable* overlay whose own
 	// routing semantics the snapshot delegates to. Distance-greedy
@@ -65,9 +73,10 @@ type snapFaults struct {
 // With a vantage, nodes the plane reports unreachable from it (the far
 // side of a partition) are masked too — partition-aware serving.
 func buildFaultMask(s *Snapshot, fp FaultPlane, vantage keyspace.Key, hasVantage bool) *snapFaults {
-	f := &snapFaults{epoch: fp.FaultEpoch(), dead: make([]bool, len(s.keys))}
+	f := &snapFaults{epoch: fp.FaultEpoch(), dead: make([]bool, s.keys.n)}
 	rp, _ := fp.(ReachabilityPlane)
-	for u, k := range s.keys {
+	for u := 0; u < s.keys.n; u++ {
+		k := s.keys.At(u)
 		if fp.Dead(k) || (hasVantage && rp != nil && rp.Unreachable(vantage, k)) {
 			f.dead[u] = true
 			f.n++
@@ -110,8 +119,10 @@ func NewSnapshot(ov Overlay) *Snapshot {
 	s := &Snapshot{
 		kind: ov.Kind(),
 		topo: topo,
-		keys: append([]keyspace.Key(nil), ov.Keys()...),
 	}
+	flat := append([]keyspace.Key(nil), ov.Keys()...)
+	s.keys = newKeyView(flat)
+	s.flatKeys.Store(&flat)
 	offsets := make([]int32, n+1)
 	size := 0
 	for u := 0; u < n; u++ {
@@ -123,24 +134,28 @@ func NewSnapshot(ov Overlay) *Snapshot {
 		offsets[u+1] = int32(len(targets))
 	}
 	s.csr = graph.NewCSR(offsets, targets)
-	s.buildRankIndex()
+	s.buildRankIndex(flat)
 	return s
 }
 
-// buildRankIndex derives byKey/order from s.keys.
-func (s *Snapshot) buildRankIndex() {
-	n := len(s.keys)
-	s.order = make([]int32, n)
-	for i := range s.order {
-		s.order[i] = int32(i)
+// buildRankIndex derives the chunked rank index from flat keys. The
+// freshly built flat arrays seed the snapshot's lazy caches — they are
+// already materialized, so compatibility callers get them for free.
+func (s *Snapshot) buildRankIndex(flat []keyspace.Key) {
+	n := len(flat)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
 	}
-	sort.SliceStable(s.order, func(i, j int) bool {
-		return s.keys[s.order[i]] < s.keys[s.order[j]]
+	sort.SliceStable(order, func(i, j int) bool {
+		return flat[order[i]] < flat[order[j]]
 	})
-	s.byKey = make(keyspace.Points, n)
-	for i, id := range s.order {
-		s.byKey[i] = s.keys[id]
+	byKey := make(keyspace.Points, n)
+	for i, id := range order {
+		byKey[i] = flat[id]
 	}
+	s.rank = newRankView(byKey, order)
+	s.flatSorted.Store(&byKey)
 }
 
 // Kind returns the wrapped overlay's kind.
@@ -179,13 +194,22 @@ func (s *Snapshot) DeadCount() int {
 func (s *Snapshot) Topology() keyspace.Topology { return s.topo }
 
 // N returns the number of nodes frozen in the snapshot.
-func (s *Snapshot) N() int { return len(s.keys) }
+func (s *Snapshot) N() int { return s.keys.n }
 
 // Key returns node u's identifier.
-func (s *Snapshot) Key(u int) keyspace.Key { return s.keys[u] }
+func (s *Snapshot) Key(u int) keyspace.Key { return s.keys.At(u) }
 
-// Keys returns all identifiers, indexed by node. Read-only.
-func (s *Snapshot) Keys() []keyspace.Key { return s.keys }
+// Keys returns all identifiers, indexed by node. Read-only. The flat
+// slice is materialized from the chunked view on first call and cached
+// for the snapshot's lifetime — O(N) once, free afterwards.
+func (s *Snapshot) Keys() []keyspace.Key {
+	if p := s.flatKeys.Load(); p != nil {
+		return *p
+	}
+	flat := s.keys.materialize()
+	s.flatKeys.Store(&flat)
+	return flat
+}
 
 // Neighbors returns u's frozen out-row. Read-only, never allocates.
 func (s *Snapshot) Neighbors(u int) []int32 { return s.csr.Out(u) }
@@ -200,11 +224,11 @@ func (s *Snapshot) CSR() *graph.CSR { return s.csr }
 // under the snapshot's topology — the node a correctly terminating
 // greedy route ends at.
 func (s *Snapshot) Responsible(target keyspace.Key) int {
-	i := s.byKey.Nearest(s.topo, target)
+	i := s.rank.Nearest(s.topo, target)
 	if i < 0 {
 		return -1
 	}
-	return int(s.order[i])
+	return int(s.rank.SlotAt(i))
 }
 
 // NewRouter returns routing scratch pinned to this snapshot. The
@@ -257,7 +281,7 @@ func (r *SnapshotRouter) Route(src int, target keyspace.Key) Result {
 // sampled trace the inner walk appends hop spans to.
 func (r *SnapshotRouter) route(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
-	if src < 0 || src >= len(s.keys) {
+	if src < 0 || src >= s.keys.n {
 		return Result{Dest: -1}
 	}
 	if s.faults != nil && s.faults.dead[src] {
@@ -324,7 +348,7 @@ func (r *SnapshotRouter) bindObs(h *obsHooks) {
 
 func (r *SnapshotRouter) routeRing(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
-	keys, csr := s.keys, s.csr
+	spine, csr := s.keys.spine, s.csr
 	var deadMask []bool
 	if s.faults != nil {
 		deadMask = s.faults.dead
@@ -335,23 +359,23 @@ func (r *SnapshotRouter) routeRing(src int, target keyspace.Key, tr *obs.Trace) 
 	}
 	tf := float64(target)
 	cur := src
-	dCur := float64(keys[cur]) - tf
+	dCur := float64(spine[cur>>keyChunkShift][cur&keyChunkMask]) - tf
 	if dCur < 0 {
 		dCur = -dCur
 	}
 	if dCur > 0.5 {
 		dCur = 1 - dCur
 	}
-	guard := 2 * len(keys)
+	guard := 2 * s.keys.n
 	hops := 0
 	for ; hops < guard; hops++ {
 		best, bestD, bestJ := -1, dCur, -1
-		bestKey := keys[cur]
+		bestKey := spine[cur>>keyChunkShift][cur&keyChunkMask]
 		for j, v := range csr.Out(cur) {
 			if deadMask != nil && deadMask[v] {
 				continue
 			}
-			vKey := keys[v]
+			vKey := spine[v>>keyChunkShift][v&keyChunkMask]
 			d := float64(vKey) - tf
 			if d < 0 {
 				d = -d
@@ -377,7 +401,7 @@ func (r *SnapshotRouter) routeRing(src int, target keyspace.Key, tr *obs.Trace) 
 
 func (r *SnapshotRouter) routeLine(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
-	keys, csr := s.keys, s.csr
+	spine, csr := s.keys.spine, s.csr
 	var deadMask []bool
 	if s.faults != nil {
 		deadMask = s.faults.dead
@@ -388,17 +412,17 @@ func (r *SnapshotRouter) routeLine(src int, target keyspace.Key, tr *obs.Trace) 
 	}
 	tf := float64(target)
 	cur := src
-	dCur := math.Abs(float64(keys[cur]) - tf)
-	guard := 2 * len(keys)
+	dCur := math.Abs(float64(spine[cur>>keyChunkShift][cur&keyChunkMask]) - tf)
+	guard := 2 * s.keys.n
 	hops := 0
 	for ; hops < guard; hops++ {
 		best, bestD, bestJ := -1, dCur, -1
-		bestKey := keys[cur]
+		bestKey := spine[cur>>keyChunkShift][cur&keyChunkMask]
 		for j, v := range csr.Out(cur) {
 			if deadMask != nil && deadMask[v] {
 				continue
 			}
-			vKey := keys[v]
+			vKey := spine[v>>keyChunkShift][v&keyChunkMask]
 			d := float64(vKey) - tf
 			if d < 0 {
 				d = -d
@@ -426,12 +450,12 @@ func (r *SnapshotRouter) routeLine(src int, target keyspace.Key, tr *obs.Trace) 
 // then a correct delivery).
 func (r *SnapshotRouter) arrived(d float64, target keyspace.Key) bool {
 	s := r.s
-	nearest := s.byKey.Nearest(s.topo, target)
+	nearest := s.rank.Nearest(s.topo, target)
 	if nearest < 0 {
 		return false
 	}
-	if s.faults == nil || !s.faults.dead[s.order[nearest]] {
-		return d <= s.topo.Distance(s.byKey[nearest], target)
+	if s.faults == nil || !s.faults.dead[s.rank.SlotAt(nearest)] {
+		return d <= s.topo.Distance(s.rank.KeyAt(nearest), target)
 	}
 	best, ok := s.nearestLiveDistance(target, nearest)
 	if !ok {
@@ -447,7 +471,7 @@ func (r *SnapshotRouter) arrived(d float64, target keyspace.Key) bool {
 // the closer of the two first hits. Reports false when every node is
 // masked.
 func (s *Snapshot) nearestLiveDistance(target keyspace.Key, start int) (float64, bool) {
-	n := len(s.byKey)
+	n := s.rank.n
 	dead := s.faults.dead
 	if s.faults.n >= n {
 		return 0, false
@@ -456,8 +480,8 @@ func (s *Snapshot) nearestLiveDistance(target keyspace.Key, start int) (float64,
 	found := false
 	// Ascending-key direction (clockwise on the ring).
 	for step, i := 0, start; step < n; step++ {
-		if !dead[s.order[i]] {
-			if d := s.topo.Distance(s.byKey[i], target); d < best {
+		if !dead[s.rank.SlotAt(i)] {
+			if d := s.topo.Distance(s.rank.KeyAt(i), target); d < best {
 				best, found = d, true
 			}
 			break
@@ -472,8 +496,8 @@ func (s *Snapshot) nearestLiveDistance(target keyspace.Key, start int) (float64,
 	}
 	// Descending-key direction (counter-clockwise).
 	for step, i := 0, start; step < n; step++ {
-		if !dead[s.order[i]] {
-			if d := s.topo.Distance(s.byKey[i], target); d < best {
+		if !dead[s.rank.SlotAt(i)] {
+			if d := s.topo.Distance(s.rank.KeyAt(i), target); d < best {
 				best, found = d, true
 			}
 			break

@@ -224,7 +224,11 @@ func (r *ServeReport) String() string {
 
 // serveAcc is one worker's shared accumulator. Workers batch their
 // samples locally and flush at snapshot re-pin boundaries, so the mutex
-// is taken a few times per thousand queries, not per query.
+// is taken a few times per thousand queries, not per query. The
+// trailing pad rounds the struct up to two cache lines: the accs are
+// allocated back-to-back, and without it the 96-byte size class makes
+// consecutive workers' mutex/counter words share a line, so even the
+// infrequent flushes ping-pong lines between cores.
 type serveAcc struct {
 	mu       sync.Mutex
 	queries  int64
@@ -233,6 +237,7 @@ type serveAcc struct {
 	latSum   float64
 	hops     []float64 // capped at serveLatCap per window
 	lats     []float64 // µs, capped at serveLatCap per window
+	_        [40]byte
 }
 
 // flush merges a worker-local batch into the accumulator.
