@@ -58,6 +58,16 @@
 //	      [-workers 8] [-serve-duration 2s] [-dynamic incremental] \
 //	      [-sim-json report.json] [-sim-csv report.csv]
 //
+// Serve mode can shard the serving plane: -shards K splits the key
+// space into K contiguous shards (overlaynet/shard), each served by
+// its own goroutine behind the message wire, so every routed query
+// pays real frames — one query, one forward per shard crossing, one
+// result — and the report grows a cross_shard_mean series. -wire
+// selects the transport (chan, the in-process channel wire, is the
+// only one today; the frame codec is transport-agnostic):
+//
+//	swsim -serve steady -n 16384 -shards 4 -wire chan
+//
 // Both scenario and serve mode can run under the observability plane
 // (package obs): -obs-addr exposes live Prometheus text /metrics,
 // expvar and net/http/pprof for the duration of the run, -trace-out
@@ -103,6 +113,8 @@ func main() {
 	serve := flag.String("serve", "", "run a wall-clock serving scenario against a snapshot Publisher ('list' prints presets)")
 	workers := flag.Int("workers", 0, "serve mode: closed-loop query goroutines (0 = GOMAXPROCS)")
 	serveDuration := flag.Duration("serve-duration", 0, "serve mode: wall-clock run length (0 = preset default)")
+	shards := flag.Int("shards", 0, "serve mode: split serving into K keyspace shards over the message wire (0 = monolithic in-process)")
+	wireFlag := flag.String("wire", "chan", "serve mode: wire transport for -shards (chan = in-process channel transport)")
 	dynamic := flag.String("dynamic", "", "churn driver for static topologies: rebuild (default) or incremental (offline small-world constructors only)")
 	duration := flag.Float64("duration", 0, "scenario duration in virtual time (0 = preset default)")
 	window := flag.Float64("window", 0, "scenario metrics window (0 = preset default)")
@@ -163,6 +175,12 @@ func main() {
 	}
 	if *scenario != "" && *serve != "" {
 		die(fmt.Errorf("-scenario and -serve are mutually exclusive"))
+	}
+	if *shards > 0 && *serve == "" {
+		die(fmt.Errorf("-shards only applies to serve mode; pass -serve too"))
+	}
+	if *wireFlag != "chan" {
+		die(fmt.Errorf("unknown -wire %q (chan is the only wire transport)", *wireFlag))
 	}
 
 	// buildDynamic resolves the churn driver shared by -scenario and
@@ -259,6 +277,7 @@ func main() {
 			cfg.Duration = *serveDuration
 		}
 		cfg.Obs, cfg.Tracer = reg, tracer
+		cfg.Shards = *shards
 		pub, err := overlaynet.NewPublisher(buildDynamic())
 		if err != nil {
 			die(err)

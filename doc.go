@@ -47,6 +47,16 @@
 //     models, Kleinberg, Watts–Strogatz, Chord, Pastry, P-Grid,
 //     Symphony, Mercury, CAN, and the live Section 4.2 protocol), and
 //     the batched context-aware QueryRunner;
+//   - overlaynet/shard — the sharded serving plane: the key space cut
+//     into K contiguous shards, each served by its own goroutine
+//     behind a wire address, a routed query becoming message frames
+//     (query, one forward per shard boundary crossed, result) —
+//     bit-identical routes and hops to the in-process router;
+//   - wire — the message transport under the shard plane: a
+//     transport-agnostic length-prefixed frame codec, the in-process
+//     channel transport, and a netmodel-driven fault wrapper that
+//     drops frames so the client's timeout/retry discipline is
+//     exercised;
 //   - sim — the deterministic discrete-event dynamics engine: arrival
 //     processes (Poisson churn, flash crowds, diurnal waves, mass
 //     failures, session lifetimes) drive any Dynamic overlay while a
@@ -128,7 +138,12 @@
 // atomic pointer (the RCU discipline): readers route lock-free against
 // the latest Snapshot while Join/Leave apply on the writer side, and
 // sim.Serve measures the resulting closed-loop serving capacity with
-// hop and latency quantiles (experiment E21).
+// hop and latency quantiles (experiment E21). The serving plane also
+// shards: overlaynet/shard splits the key space across K servers
+// behind the wire package's message transport, sim.Serve takes
+// Shards: K (swsim: -shards K) and reports mean shard crossings per
+// query, and experiment E24 prices the wire against the in-process
+// baseline — where work executes changes, what is computed does not.
 //
 // # Range queries
 //

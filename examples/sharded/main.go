@@ -1,0 +1,168 @@
+// Sharded: the rangestore workload served by a 4-shard cluster over a
+// lossy message wire — the serving plane split by key range instead of
+// one monolithic router, with every locate paying real frames.
+//
+// The key space is cut into four contiguous shards (overlaynet/shard);
+// each shard is a serving goroutine listening on its own wire address,
+// and the store's locates ride a shard Client instead of an in-process
+// router: one query frame to the shard owning the source's key, one
+// forward frame per shard boundary the greedy walk crosses, one result
+// frame back. The wire is wrapped in the fault plane at the lossy
+// preset's 5% per-frame loss (wire.NewFault keyed by each shard's
+// midpoint key), so the client's timeout-and-retry discipline is live:
+// a lost frame costs a re-sent query, not a wrong answer.
+//
+// Sharding changes where routing work executes, never what is computed
+// — the same greedy walk, the same hops — so the store's durability
+// contract is untouched: R-way replication plus batched key handover
+// carries every acknowledged write through crash churn, audited at the
+// end, while the shard map prices how much handover traffic crosses
+// shard boundaries.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/netmodel"
+	"smallworld/overlaynet"
+	"smallworld/overlaynet/shard"
+	"smallworld/store"
+	"smallworld/wire"
+	"smallworld/xrand"
+)
+
+func main() {
+	const (
+		peers    = 512
+		shards   = 4
+		replicas = 3
+		nKeys    = 4000
+		loss     = 0.05 // the lossy preset's per-frame drop rate
+	)
+	ctx := context.Background()
+	rng := xrand.New(23)
+
+	// A skewed population: peers adapt to the key density (Theorem 2),
+	// and the Publisher serves lock-free snapshots under churn.
+	dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed",
+		overlaynet.Options{N: peers, Seed: 29, Dist: dist.NewPower(0.7), Topology: keyspace.Ring})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, err := overlaynet.NewPublisher(dyn, overlaynet.PublishEvery(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The wire: an in-process channel transport wrapped in the netmodel
+	// fault plane. Frames to shard i are attributed to that shard's
+	// midpoint key, so per-key loss draws hit servers the way per-hop
+	// loss hits nodes; client addresses fall back to key 0.
+	m, err := shard.NewMap(shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := netmodel.New(netmodel.Config{Loss: loss}, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := wire.NewFault(wire.NewChan(), model, func(a wire.Addr) keyspace.Key {
+		if int(a) < shards {
+			return m.Mid(int(a))
+		}
+		return 0
+	})
+
+	// The cluster: K serving goroutines behind the lossy wire. The
+	// client is the store's Locator — every Put/Get/Scan locate becomes
+	// message frames — with a timeout so lost frames surface as retries.
+	cluster, err := shard.New(pub, shard.Config{Shards: shards, Transport: tr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.Timeout = 2 * time.Millisecond
+	client.Retries = 5
+
+	st, err := store.New(pub, store.Config{
+		Replicas:      replicas,
+		EventDriven:   true,
+		Locator:       client,
+		ShardOf:       m.Of,
+		BatchHandover: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub.SetOwnershipWatcher(st.ApplyChange)
+
+	// Write the corpus through the shard plane. Every locate that loses
+	// all its retry attempts is a clean failure (not acked) — count and
+	// re-try at the workload level, as a real client would.
+	oracle := make(map[keyspace.Key]store.Stamp, nKeys)
+	puts, retried := 0, 0
+	for i := 0; i < nKeys; i++ {
+		k := keyspace.Key(rng.Float64())
+		for {
+			puts++
+			res := st.Put(rng.Intn(pub.N()), k, []byte{byte(i), byte(i >> 8)})
+			if res.Acked {
+				oracle[k] = res.Stamp
+				break
+			}
+			retried++
+		}
+	}
+	fmt.Printf("stored %d keys on %d peers through %d shards over a %.0f%% lossy wire: %d puts, %d workload-level retries\n",
+		len(oracle), peers, shards, 100*loss, puts, retried)
+
+	// Churn with crash leaves while reads keep riding the shard plane.
+	reads, readsOK := 0, 0
+	for ev := 0; ev < 200; ev++ {
+		if ev%2 == 0 {
+			err = pub.Leave(ctx, rng.Intn(pub.LiveN()))
+		} else {
+			err = pub.Join(ctx)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ev%5 == 2 {
+			for k, acked := range oracle {
+				reads++
+				if res := st.Get(rng.Intn(pub.N()), k); res.Found && !res.Stamp.Less(acked) {
+					readsOK++
+				}
+				break
+			}
+		}
+		if ev%50 == 49 {
+			st.Sweep()
+		}
+	}
+	fmt.Printf("churn: 200 events (crash leaves), %d/%d mid-churn reads served\n", readsOK, reads)
+
+	// The audit: every acknowledged write survived the churn.
+	lost := 0
+	for k, acked := range oracle {
+		if s, ok := st.Newest(k); !ok || s.Less(acked) {
+			lost++
+		}
+	}
+	s := st.Stats()
+	fmt.Printf("durability: %d acked writes, %d lost\n", s.AckedWrites, lost)
+	fmt.Printf("handover: %d batched transfers moved %.2f MB, %d of %d re-replicated copies crossed a shard boundary\n",
+		s.Transfers, float64(s.BytesMoved)/1e6, s.CrossShardMoves, s.Rereplicated)
+	if lost > 0 {
+		log.Fatalf("%d acknowledged writes lost", lost)
+	}
+}

@@ -19,22 +19,44 @@ package graph
 //     target.
 //   - any value that doesn't fit below EscapeSentinel is stored as the
 //     sentinel, and the absolute int32 target goes to the row's escape
-//     list (escOff indexes it like a second CSR). Decoding continues
-//     delta-wise from the escaped target. Rows that violate the sorted
-//     contract still round-trip exactly — a negative gap just escapes.
+//     list (indexed like a second CSR). Decoding continues delta-wise
+//     from the escaped target. Rows that violate the sorted contract
+//     still round-trip exactly — a negative gap just escapes.
+//
+// Row offsets are two-level uint16 as well: rows are grouped into
+// blocks of 2^shift, a small int32 array holds each block's absolute
+// starting edge index, and a uint16 per row holds the offset relative
+// to its block base — offset(i) = base[i>>shift] + rel[i]. The shift
+// is chosen per encoding as the largest power of two for which every
+// block's edge span fits in a uint16, so the per-row offset cost drops
+// from 4 bytes (int32) to 2 + ~4/2^shift bytes; degenerate rows
+// (degree beyond 65535 in one block) just shrink the blocks, down to
+// shift 0 where the base array carries everything. The escape offsets
+// use the same scheme with their own shift. Combined with the 2-byte
+// delta slots this is what puts total adjacency under 32 B/node for
+// typical small-world degrees.
 //
 // One uint16 slot per target means offsets are shared semantics with
 // the flat CSR: OutDegree and RowStart agree, so per-edge side tables
 // (obs link counters) index identically under either representation.
 type Compact struct {
-	offsets []int32  // len N+1, one slot per target
-	deltas  []uint16 // len M
-	escOff  []int32  // len N+1: row u's escapes are escapes[escOff[u]:escOff[u+1]]
-	escapes []int32
+	shift  uint     // log2 rows per offset block
+	base   []int32  // per-block absolute edge index
+	rel    []uint16 // len N+1: offset(i) = base[i>>shift] + rel[i]
+	deltas []uint16 // len M
+
+	escShift uint
+	escBase  []int32
+	escRel   []uint16 // len N+1, same scheme over the escape list
+	escapes  []int32
 }
 
 // EscapeSentinel is the delta slot value marking an escaped target.
 const EscapeSentinel = 0xFFFF
+
+// maxOffsetShift bounds the adaptive block-size search. 2^16 rows per
+// base entry already makes the base array's contribution negligible.
+const maxOffsetShift = 16
 
 // zigzag folds an int32 into an unsigned value with small magnitudes
 // small: 0→0, -1→1, 1→2, -2→3, …
@@ -44,15 +66,45 @@ func zigzag(x int32) uint32 { return uint32((x << 1) ^ (x >> 31)) }
 // loops (see CompactRow).
 func Unzigzag(v uint32) int32 { return int32(v>>1) ^ -int32(v&1) }
 
+// packOffsets folds a flat int32 offsets array (CSR semantics, len
+// N+1, non-decreasing) into the two-level form: the largest block
+// shift whose every block span fits a uint16, the per-block bases, and
+// the per-entry relative offsets. Entry i's block is i>>shift; block
+// starts always encode rel 0, so the fold is exact by construction.
+func packOffsets(off []int32) (shift uint, base []int32, rel []uint16) {
+	shift = maxOffsetShift
+	for shift > 0 {
+		fits := true
+		for start := 0; start < len(off); start += 1 << shift {
+			end := min(start+1<<shift, len(off))
+			if int64(off[end-1])-int64(off[start]) > 0xFFFF {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			break
+		}
+		shift--
+	}
+	base = make([]int32, (len(off)-1)>>shift+1)
+	rel = make([]uint16, len(off))
+	for i, o := range off {
+		if i&(1<<shift-1) == 0 {
+			base[i>>shift] = o
+		}
+		rel[i] = uint16(o - base[i>>shift])
+	}
+	return shift, base, rel
+}
+
 // Compress encodes c. The result is immutable and shares nothing with
 // the source CSR.
 func Compress(c *CSR) *Compact {
 	n := c.N()
-	z := &Compact{
-		offsets: make([]int32, n+1),
-		deltas:  make([]uint16, 0, c.M()),
-		escOff:  make([]int32, n+1),
-	}
+	z := &Compact{deltas: make([]uint16, 0, c.M())}
+	offsets := make([]int32, n+1)
+	escOff := make([]int32, n+1)
 	for u := 0; u < n; u++ {
 		prev := int32(u)
 		for j, t := range c.Out(u) {
@@ -70,31 +122,43 @@ func Compress(c *CSR) *Compact {
 			}
 			prev = t
 		}
-		z.offsets[u+1] = int32(len(z.deltas))
-		z.escOff[u+1] = int32(len(z.escapes))
+		offsets[u+1] = int32(len(z.deltas))
+		escOff[u+1] = int32(len(z.escapes))
 	}
+	z.shift, z.base, z.rel = packOffsets(offsets)
+	z.escShift, z.escBase, z.escRel = packOffsets(escOff)
 	return z
 }
 
+// off returns entry i of the logical offsets array.
+func (z *Compact) off(i int) int {
+	return int(z.base[i>>z.shift]) + int(z.rel[i])
+}
+
+// escoff returns entry i of the logical escape-offsets array.
+func (z *Compact) escoff(i int) int {
+	return int(z.escBase[i>>z.escShift]) + int(z.escRel[i])
+}
+
 // N returns the number of nodes.
-func (z *Compact) N() int { return len(z.offsets) - 1 }
+func (z *Compact) N() int { return len(z.rel) - 1 }
 
 // M returns the number of directed edges.
 func (z *Compact) M() int { return len(z.deltas) }
 
 // OutDegree returns the out-degree of u — identical to the source
 // CSR's.
-func (z *Compact) OutDegree(u int) int { return int(z.offsets[u+1] - z.offsets[u]) }
+func (z *Compact) OutDegree(u int) int { return z.off(u+1) - z.off(u) }
 
 // RowStart returns the flat edge index where u's row begins, in the
 // same edge numbering as the source CSR (one slot per target), so
 // per-edge side tables carry over unchanged.
-func (z *Compact) RowStart(u int) int { return int(z.offsets[u]) }
+func (z *Compact) RowStart(u int) int { return z.off(u) }
 
 // Bytes returns the total byte footprint of the encoded adjacency.
 func (z *Compact) Bytes() int64 {
-	return int64(len(z.offsets))*4 + int64(len(z.deltas))*2 +
-		int64(len(z.escOff))*4 + int64(len(z.escapes))*4
+	return int64(len(z.base))*4 + int64(len(z.rel))*2 + int64(len(z.deltas))*2 +
+		int64(len(z.escBase))*4 + int64(len(z.escRel))*2 + int64(len(z.escapes))*4
 }
 
 // AppendOut decodes u's full row into buf (reset to length 0 first)
@@ -142,8 +206,8 @@ type CompactRow struct {
 // Row returns u's encoded row.
 func (z *Compact) Row(u int) CompactRow {
 	return CompactRow{
-		Deltas:  z.deltas[z.offsets[u]:z.offsets[u+1]],
-		Escapes: z.escapes[z.escOff[u]:z.escOff[u+1]],
+		Deltas:  z.deltas[z.off(u):z.off(u+1)],
+		Escapes: z.escapes[z.escoff(u):z.escoff(u+1)],
 		Base:    int32(u),
 	}
 }

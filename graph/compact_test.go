@@ -136,3 +136,89 @@ func TestCompactEdgeCases(t *testing.T) {
 	rows[1] = []int32{int32(n) - 1, int32(n) - 2, int32(n) - 3, 0} // unsorted far row
 	checkRoundTrip(t, buildCSR(rows))
 }
+
+// TestPackOffsets pins the two-level offset fold directly: exact
+// reconstruction, maximality of the chosen shift, and the degenerate
+// fallback when one row's span alone overflows a uint16.
+func TestPackOffsets(t *testing.T) {
+	spanFits := func(off []int32, shift uint) bool {
+		for start := 0; start < len(off); start += 1 << shift {
+			end := min(start+1<<shift, len(off))
+			if int64(off[end-1])-int64(off[start]) > 0xFFFF {
+				return false
+			}
+		}
+		return true
+	}
+	check := func(off []int32) {
+		t.Helper()
+		shift, base, rel := packOffsets(off)
+		if len(rel) != len(off) {
+			t.Fatalf("rel has %d entries, want %d", len(rel), len(off))
+		}
+		for i, want := range off {
+			if got := int32(base[i>>shift]) + int32(rel[i]); got != want {
+				t.Fatalf("shift %d: entry %d reconstructs to %d, want %d", shift, i, got, want)
+			}
+		}
+		if !spanFits(off, shift) {
+			t.Fatalf("chosen shift %d does not fit", shift)
+		}
+		if shift < maxOffsetShift && spanFits(off, shift+1) {
+			t.Fatalf("shift %d is not maximal: %d also fits", shift, shift+1)
+		}
+	}
+
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100_000)
+		off := make([]int32, n+1)
+		for i := 1; i <= n; i++ {
+			off[i] = off[i-1] + int32(rng.Intn(20))
+		}
+		check(off)
+	}
+
+	// A single row spanning > 65535 edges forces shift all the way to 0
+	// (any block containing both its endpoints overflows).
+	check([]int32{0, 70_000, 70_005})
+	// All-empty offsets pack at the maximum shift.
+	shift, _, _ := packOffsets(make([]int32, 4097))
+	if shift != maxOffsetShift {
+		t.Fatalf("empty offsets packed at shift %d, want %d", shift, maxOffsetShift)
+	}
+}
+
+// TestCompactBytesPerNode pins the headline footprint: a rank-local
+// graph at small-world degree (12 out-links within a few thousand
+// ranks) must encode under 32 adjacency bytes per node — 2 per target
+// plus ~2 per row of two-level offsets.
+func TestCompactBytesPerNode(t *testing.T) {
+	const n, deg = 65536, 12
+	rng := xrand.New(11)
+	rows := make([][]int32, n)
+	for u := range rows {
+		row := make([]int32, 0, deg)
+		for j := 0; j < deg; j++ {
+			v := int32(u) + int32(rng.Intn(4096)) - 2048
+			if v < 0 {
+				v += n
+			}
+			if v >= n {
+				v -= n
+			}
+			row = append(row, v)
+		}
+		sortInt32(row)
+		rows[u] = row
+	}
+	c := buildCSR(rows)
+	checkRoundTrip(t, c)
+	z := Compress(c)
+	perNode := float64(z.Bytes()) / float64(n)
+	flatPerNode := float64(4*(n+1)+4*c.M()) / float64(n)
+	t.Logf("compact %.1f B/node vs flat CSR %.1f B/node", perNode, flatPerNode)
+	if perNode >= 32 {
+		t.Fatalf("compact adjacency is %.1f B/node, want < 32", perNode)
+	}
+}

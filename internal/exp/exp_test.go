@@ -473,8 +473,8 @@ func TestE23StoreDurability(t *testing.T) {
 
 func TestRunnersComplete(t *testing.T) {
 	rs := Runners()
-	if len(rs) != 23 {
-		t.Fatalf("expected 23 runners, got %d", len(rs))
+	if len(rs) != 24 {
+		t.Fatalf("expected 24 runners, got %d", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

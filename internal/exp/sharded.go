@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/sim"
+)
+
+// E24ShardedServing prices the sharded serving plane: the same
+// closed-loop wall-clock load as E21, but routed through K keyspace
+// shards behind the in-process channel wire (overlaynet/shard), so
+// every query pays real message frames — one query, one forward per
+// shard crossing, one result. K=0 is the monolithic in-process
+// baseline; K=1 isolates the cost of the wire itself; higher K adds
+// cross-shard forwarding, reported as mean forwards per query.
+// Routing quality columns (hops) must not move with K — sharding
+// changes where work executes, never what is computed (the shard
+// package's bit-identity tests pin this exactly; here the live churn
+// interleaving makes rows reproducible in distribution only).
+func E24ShardedServing(scale Scale, seed uint64) Table {
+	t := Table{
+		ID:    "E24",
+		Title: "Sharded serving over the message wire — K shards × churn vs the in-process baseline",
+		Columns: []string{"N", "K", "churn/s", "qps", "meanHops", "p99Hops",
+			"latP99µs", "cross/query", "fail%", "epochs"},
+	}
+	n := 16384
+	duration := 300 * time.Millisecond
+	workers := 2
+	if scale == Full {
+		n = 65536
+		duration = time.Second
+		workers = 4
+	}
+	ctx := context.Background()
+	d := dist.NewPower(0.7)
+	for _, k := range []int{0, 1, 2, 4, 8} {
+		for _, churnFrac := range []float64{0, 0.02} {
+			dyn, err := overlaynet.NewIncremental(ctx, "smallworld-skewed", overlaynet.Options{
+				N: n, Seed: seed, Dist: d, Topology: keyspace.Ring,
+			})
+			if err != nil {
+				t.AddNote("build failed for N=%d: %v", n, err)
+				continue
+			}
+			pub, err := overlaynet.NewPublisher(dyn, overlaynet.PublishEvery(16))
+			if err != nil {
+				t.AddNote("publisher failed for N=%d: %v", n, err)
+				continue
+			}
+			rep, err := sim.Serve(ctx, pub, instrumentServe(sim.ServeConfig{
+				Name: "e24", Workers: workers,
+				Duration: duration, Window: duration / 3,
+				ChurnRate: churnFrac * float64(n),
+				Seed:      seed + 37*uint64(k),
+				Target:    sim.DataTargets(d),
+				Shards:    k,
+			}))
+			if err != nil {
+				t.AddNote("serve failed for K=%d: %v", k, err)
+				continue
+			}
+			failPct := 0.0
+			if rep.Totals.Queries > 0 {
+				failPct = 100 * float64(rep.Totals.Failures) / float64(rep.Totals.Queries)
+			}
+			t.AddRow(n, k, churnFrac*float64(n), fmtF(rep.QPS), rep.HopsMean,
+				rep.HopsP99, rep.LatP99Us, rep.CrossMean, failPct, rep.Totals.Epochs)
+		}
+	}
+	t.AddNote("K=0 routes in-process (no frames); K>=1 pays 2+cross frames per query over the channel wire")
+	t.AddNote("qps/latency are wall-clock (machine-dependent); recorded at GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	t.AddNote("fail%% > 0 under churn is epoch skew: workers share the cluster but pin epochs independently")
+	return t
+}

@@ -36,6 +36,7 @@ func Runners() []Runner {
 		{"E21", "serving under churn (lock-free snapshots)", E21ServeUnderChurn},
 		{"E22", "hostile network (loss × faults × retries, partition heal)", E22HostileNetwork},
 		{"E23", "replicated range store (durability, scans, handover)", E23ReplicatedStore},
+		{"E24", "sharded serving over the message wire (K shards × churn)", E24ShardedServing},
 	}
 }
 

@@ -31,8 +31,9 @@ type desc struct {
 	g    func(r *Registry) *Gauge
 	h    func(r *Registry) *Histogram
 	// labeled counters (one series per label value).
-	labels []string
-	lc     func(r *Registry, i int) *Counter
+	labelKey string
+	labels   []string
+	lc       func(r *Registry, i int) *Counter
 }
 
 // outcomeLabels mirrors overlaynet.Outcome order; obs cannot import
@@ -46,7 +47,7 @@ var descs = []desc{
 	{name: "smallworld_route_failures_total", help: "Queries that failed to arrive.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.RouteFailures }},
 	{name: "smallworld_route_retries_total", help: "Per-hop resends beyond first attempts.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.RouteRetries }},
 	{name: "smallworld_route_outcomes_total", help: "Robustly routed queries by typed outcome.", kind: kindCounter,
-		labels: outcomeLabels, lc: func(r *Registry, i int) *Counter { return &r.RouteOutcomes[i] }},
+		labelKey: "outcome", labels: outcomeLabels, lc: func(r *Registry, i int) *Counter { return &r.RouteOutcomes[i] }},
 	{name: "smallworld_route_hops", help: "Hops per arrived query.", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.HopsPerQuery }},
 	{name: "smallworld_route_latency_us", help: "Wall-clock query latency, microseconds (serving path).", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.LatencyUs }},
 	{name: "smallworld_route_virtual_latency", help: "Virtual-time query latency (sim / robust routing).", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.VirtLatency }},
@@ -75,6 +76,23 @@ var descs = []desc{
 	{name: "smallworld_net_lost_total", help: "Messages the fault plane lost.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.NetLost }},
 	{name: "smallworld_net_unreachable_total", help: "Sends to dead or partitioned endpoints.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.NetUnreachable }},
 	{name: "smallworld_net_link_latency", help: "Per-delivery link latency (virtual time).", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.NetLatency }},
+
+	{name: "smallworld_wire_sends_total", help: "Frames delivered by the wire transport.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.WireSends }},
+	{name: "smallworld_wire_bytes_total", help: "Frame bytes delivered by the wire transport.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.WireBytes }},
+	{name: "smallworld_shard_queries_total", help: "Queries entering the sharded serving plane.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.ShardQueries }},
+	{name: "smallworld_shard_forwards_total", help: "Cross-shard query forwards.", kind: kindCounter, c: func(r *Registry) *Counter { return &r.ShardForwards }},
+	{name: "smallworld_shard_hops_total", help: "Greedy hops executed, by owning shard (mod 16).", kind: kindCounter,
+		labelKey: "shard", labels: shardLabels(), lc: func(r *Registry, i int) *Counter { return &r.ShardHops[i] }},
+	{name: "smallworld_shard_crossings", help: "Cross-shard forwards per completed query.", kind: kindHistogram, h: func(r *Registry) *Histogram { return &r.CrossShardHops }},
+}
+
+// shardLabels builds the static "0".."15" label set for ShardHops.
+func shardLabels() []string {
+	out := make([]string, ShardLabels)
+	for i := range out {
+		out[i] = strconv.Itoa(i)
+	}
+	return out
 }
 
 // WriteMetrics writes the registry in Prometheus text exposition format
@@ -94,7 +112,7 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 			fmt.Fprintf(&b, "# TYPE %s counter\n", d.name)
 			if d.labels != nil {
 				for i, lv := range d.labels {
-					fmt.Fprintf(&b, "%s{outcome=%q} %d\n", d.name, lv, d.lc(r, i).Value())
+					fmt.Fprintf(&b, "%s{%s=%q} %d\n", d.name, d.labelKey, lv, d.lc(r, i).Value())
 				}
 			} else {
 				fmt.Fprintf(&b, "%s %d\n", d.name, d.c(r).Value())

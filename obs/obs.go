@@ -169,7 +169,22 @@ type Registry struct {
 	NetLost        Counter   // [smallworld_net_lost_total]
 	NetUnreachable Counter   // [smallworld_net_unreachable_total]
 	NetLatency     Histogram // [smallworld_net_link_latency] per-delivery virtual latency
+
+	// Sharded serving plane (overlaynet/shard over package wire).
+	// ShardHops is labelled by owning shard (shard="i", folded mod
+	// ShardLabels when K exceeds the array); CrossShardHops observes
+	// the number of cross-shard forwards each completed query paid.
+	WireSends      Counter              // [smallworld_wire_sends_total]
+	WireBytes      Counter              // [smallworld_wire_bytes_total]
+	ShardQueries   Counter              // [smallworld_shard_queries_total]
+	ShardForwards  Counter              // [smallworld_shard_forwards_total]
+	ShardHops      [ShardLabels]Counter // [smallworld_shard_hops_total]
+	CrossShardHops Histogram            // [smallworld_shard_crossings]
 }
+
+// ShardLabels is the number of per-shard label series ShardHops keeps;
+// clusters wider than this fold their shard index mod ShardLabels.
+const ShardLabels = 16
 
 // NewRegistry returns an empty registry. The zero value works too; the
 // constructor exists for symmetry and future options.

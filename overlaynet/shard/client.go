@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"smallworld/keyspace"
+	"smallworld/overlaynet"
+	"smallworld/wire"
+)
+
+// respBuffer bounds a client's result mailbox. Only stale results (a
+// resend raced its timed-out predecessor) ever queue behind the one
+// being awaited, so a small buffer suffices; beyond it, late results
+// are dropped like any other datagram.
+const respBuffer = 64
+
+// Client is the query side of a shard cluster: an overlaynet.Router
+// whose Route sends the query to the shard owning the source node's
+// key and blocks until the correlated result frame returns. Like every
+// Router, a Client is NOT safe for concurrent use — hold one per
+// goroutine (each gets its own wire address).
+//
+// Over a reliable transport Route always completes. Over a lossy one
+// (wire.NewFault) set Timeout and Retries: a route whose frames are
+// lost is re-sent up to Retries extra times and then reported as a
+// clean routing failure (Dest -1), the same surface a crashed-source
+// query shows.
+type Client struct {
+	c    *Cluster
+	addr wire.Addr
+	snap *overlaynet.Snapshot
+
+	// Timeout bounds one attempt's wait for a result frame; zero waits
+	// forever (correct only on a loss-free transport). Retries is the
+	// number of extra attempts after the first times out.
+	Timeout time.Duration
+	Retries int
+
+	corr      uint64
+	resp      chan clientResult
+	buf       []byte
+	fbuf      []byte
+	lastCross int
+}
+
+// clientResult is one decoded msgResult frame.
+type clientResult struct {
+	corr      uint64
+	dest      int
+	hops      int
+	crossings int
+	arrived   bool
+}
+
+// NewClient allocates a wire address, subscribes it, and pins the
+// client to the cluster's current snapshot.
+func (c *Cluster) NewClient() (*Client, error) {
+	addr := wire.Addr(uint32(c.m.k) + c.nextClient.Add(1) - 1)
+	cl := &Client{
+		c:    c,
+		addr: addr,
+		snap: c.snap.Load(),
+		resp: make(chan clientResult, respBuffer),
+	}
+	if err := c.tr.Listen(addr, cl.handle); err != nil {
+		return nil, fmt.Errorf("shard: client listen: %w", err)
+	}
+	return cl, nil
+}
+
+// handle decodes result frames onto the mailbox. It runs on the
+// transport's drain goroutine; a full mailbox means every queued entry
+// is stale (see respBuffer), so dropping is safe and keeps the drain
+// loop from blocking.
+func (cl *Client) handle(frame []byte) {
+	f, _, err := wire.ParseFrame(frame)
+	if err != nil || f.Type != msgResult {
+		return
+	}
+	rd := wire.NewReader(f.Payload)
+	r := clientResult{
+		corr:      f.Corr,
+		dest:      int(int32(rd.U32())),
+		hops:      int(rd.U32()),
+		crossings: int(rd.U32()),
+		arrived:   rd.U8() == 1,
+	}
+	if rd.Err() != nil {
+		return
+	}
+	select {
+	case cl.resp <- r:
+	default:
+	}
+}
+
+// Rebind pins the client — and the whole cluster — to a new snapshot
+// epoch, which is what lets a Client stand in for a SnapshotRouter
+// anywhere one is rebound across publications (sim serve workers, the
+// store's Locator). Delegated snapshots are refused by the cluster and
+// leave the previous epoch serving.
+func (cl *Client) Rebind(s *overlaynet.Snapshot) {
+	if err := cl.c.Rebind(s); err != nil {
+		return
+	}
+	cl.snap = s
+}
+
+// Pinned returns the snapshot the client currently queries against.
+func (cl *Client) Pinned() *overlaynet.Snapshot { return cl.snap }
+
+// Route implements overlaynet.Router over the wire: one msgQuery to
+// the shard owning src's key, any number of shard-to-shard forwards,
+// one msgResult back.
+func (cl *Client) Route(src int, target keyspace.Key) overlaynet.Result {
+	snap := cl.snap
+	if src < 0 || src >= snap.N() {
+		// Same local fast-fail as SnapshotRouter: a source outside the
+		// population routes nowhere and costs no messages.
+		cl.lastCross = 0
+		return overlaynet.Result{Dest: -1}
+	}
+	owner := wire.Addr(cl.c.m.Of(snap.Key(src)))
+	attempts := cl.Retries + 1
+	for a := 0; a < attempts; a++ {
+		cl.corr++
+		corr := cl.corr
+		cl.buf = wire.AppendF64(wire.AppendU32(cl.buf[:0], uint32(int32(src))), float64(target))
+		cl.fbuf = wire.AppendFrame(cl.fbuf[:0], wire.Frame{
+			Type: msgQuery, From: cl.addr, To: owner, Corr: corr, Payload: cl.buf,
+		})
+		if err := cl.c.tr.Send(owner, cl.fbuf); err != nil {
+			break
+		}
+		if r, ok := cl.await(corr); ok {
+			cl.lastCross = r.crossings
+			return overlaynet.Result{Hops: r.hops, Dest: r.dest, Arrived: r.arrived}
+		}
+	}
+	cl.lastCross = 0
+	return overlaynet.Result{Dest: -1}
+}
+
+// await blocks for the result matching corr, discarding stale results
+// from abandoned attempts. ok is false on timeout.
+func (cl *Client) await(corr uint64) (clientResult, bool) {
+	var timeout <-chan time.Time
+	if cl.Timeout > 0 {
+		t := time.NewTimer(cl.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		select {
+		case r := <-cl.resp:
+			if r.corr == corr {
+				return r, true
+			}
+		case <-timeout:
+			return clientResult{}, false
+		}
+	}
+}
+
+// Crossings returns the number of cross-shard forwards the last
+// successful Route paid — the wire cost sharding added to that query.
+func (cl *Client) Crossings() int { return cl.lastCross }

@@ -1,0 +1,48 @@
+// Package shard partitions the serving plane across K keyspace shards
+// connected by a message wire, so that a routed hop between nodes in
+// different shards is a frame on a transport rather than a method call
+// — the structural move from "one Publisher process" to "a cluster of
+// serving processes" that every later distributed scenario builds on.
+//
+// # Roles
+//
+// A Map is the shard map: the static partition of [0,1) into K
+// contiguous equal-width ranges, shard i owning [i/K, (i+1)/K). It is
+// pure arithmetic — every participant (client, server, store) computes
+// ownership locally from the key, so there is no lookup service to
+// keep consistent.
+//
+// A Cluster runs one server per shard on a wire.Transport, all pinned
+// to the same overlaynet.Snapshot epoch (Rebind moves the whole
+// cluster atomically). Each server walks a query greedily with
+// Snapshot.GreedyStep while the current node's key stays inside its
+// range; the moment a step lands in another shard's range it forwards
+// the query — current node, carried distance as exact IEEE bits, hop
+// and crossing counts — to the owning server and forgets it. The walk
+// is therefore distributed over the shards that the route geometrically
+// visits, which is what makes per-shard traffic locality observable.
+//
+// A Client is the query side: it implements overlaynet.Router by
+// sending the query to the shard owning the source node's key and
+// blocking until the correlated result frame returns. One Client per
+// goroutine, like every Router in this repository.
+//
+// # The bit-identity contract
+//
+// Sharding changes where work executes, never what is computed: a
+// K-shard cluster over the channel transport returns bit-identical
+// results (destination, hop count, arrival) to SnapshotRouter.Route on
+// the same snapshot, for every K. This holds because both drive the
+// same step function (Snapshot.GreedyStep) over the same float state —
+// the carried distance crosses the wire as its exact bit pattern — and
+// it is pinned by TestShardBitIdentity across churn, fault masks, and
+// skewed populations.
+//
+// # Faults
+//
+// Wrapping the transport in wire.NewFault puts every inter-shard frame
+// under a netmodel fault plane. A dropped frame silently kills the
+// query mid-flight, exactly like a lost datagram; Clients recover with
+// a timeout + resend discipline (Config Timeout/Retries) and report
+// routing failure when the budget is exhausted.
+package shard

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smallworld/keyspace"
+	"smallworld/xrand"
+)
+
+// BenchmarkServeSharded measures one routed query through a K-shard
+// cluster over the channel wire while (optionally) a writer goroutine
+// churns membership and publishes epochs — the sharded counterpart of
+// overlaynet's BenchmarkServeUnderChurn. K=1 prices the wire itself
+// (every query still pays a query and a result frame); higher K adds
+// one forward frame per shard crossing. The client rebinds to the
+// latest epoch every 512 queries, like a sim serve worker.
+func BenchmarkServeSharded(b *testing.B) {
+	const churnInterval = 200 * time.Microsecond
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, churn := range []bool{false, true} {
+			name := "K=" + itoa(k) + "/churn=off"
+			if churn {
+				name = "K=" + itoa(k) + "/churn=on"
+			}
+			b.Run(name, func(b *testing.B) {
+				benchServeSharded(b, k, churn, churnInterval)
+			})
+		}
+	}
+}
+
+func benchServeSharded(b *testing.B, k int, churn bool, churnInterval time.Duration) {
+	ctx := context.Background()
+	pub := newChurnPublisher(b, 4096, keyspace.Ring, 9)
+	cluster, err := New(pub, Config{Shards: k})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var churnWG sync.WaitGroup
+	if churn {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			rng := xrand.New(3)
+			for !stop.Load() {
+				var err error
+				if rng.Bool(0.5) {
+					err = pub.Join(ctx)
+				} else if live := pub.LiveN(); live > 8 {
+					err = pub.Leave(ctx, rng.Intn(live))
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				time.Sleep(churnInterval)
+			}
+		}()
+	}
+
+	rng := xrand.New(17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%512 == 0 {
+			client.Rebind(pub.Snapshot())
+		}
+		client.Route(rng.Intn(client.Pinned().N()), keyspace.Key(rng.Float64()))
+	}
+	b.StopTimer()
+	stop.Store(true)
+	churnWG.Wait()
+}

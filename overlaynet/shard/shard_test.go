@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"smallworld/dist"
+	"smallworld/keyspace"
+	"smallworld/netmodel"
+	"smallworld/obs"
+	"smallworld/overlaynet"
+	"smallworld/xrand"
+)
+
+func newChurnPublisher(t testing.TB, n int, topo keyspace.Topology, seed uint64) *overlaynet.Publisher {
+	t.Helper()
+	dyn, err := overlaynet.NewIncremental(context.Background(), "smallworld-skewed", overlaynet.Options{
+		N: n, Seed: seed, Dist: dist.NewPower(0.7), Topology: topo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := overlaynet.NewPublisher(dyn, overlaynet.PublishEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+// expectedCrossings replays the walk with GreedyStep and counts
+// ownership transitions — the oracle for Client.Crossings.
+func expectedCrossings(snap *overlaynet.Snapshot, m *Map, src int, target keyspace.Key) int {
+	d, ok := snap.GreedyInit(src, target)
+	if !ok {
+		return 0
+	}
+	cur, crossings := src, 0
+	for hops := 0; hops < snap.GreedyGuard(); {
+		next, dNext := snap.GreedyStep(cur, d, target)
+		if next == -1 {
+			break
+		}
+		hops++
+		if m.Of(snap.Key(next)) != m.Of(snap.Key(cur)) {
+			crossings++
+		}
+		cur, d = next, dNext
+	}
+	return crossings
+}
+
+// TestShardBitIdentity is the headline invariant: a K-shard cluster
+// over the channel wire produces bit-identical routes (dest, hops,
+// arrival) to the monolithic in-process SnapshotRouter on the same
+// snapshot, across churn and rebinds, for K in {1, 2, 4, 8} — sharding
+// changes where work executes, never what is computed.
+func TestShardBitIdentity(t *testing.T) {
+	for _, topo := range []keyspace.Topology{keyspace.Ring, keyspace.Line} {
+		for _, k := range []int{1, 2, 4, 8} {
+			t.Run(topoName(topo)+"/K="+itoa(k), func(t *testing.T) {
+				ctx := context.Background()
+				pub := newChurnPublisher(t, 300, topo, 23)
+				cluster, err := New(pub, Config{Shards: k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cluster.Close()
+				client, err := cluster.NewClient()
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap := pub.Snapshot()
+				mono := snap.NewRouter().(*overlaynet.SnapshotRouter)
+
+				rng := xrand.New(91)
+				for round := 0; round < 6; round++ {
+					n := snap.N()
+					for q := 0; q < 300; q++ {
+						src := rng.Intn(n)
+						target := keyspace.Key(rng.Float64())
+						want := mono.Route(src, target)
+						got := client.Route(src, target)
+						if got != want {
+							t.Fatalf("round %d query %d (%d->%v): sharded %+v, monolithic %+v",
+								round, q, src, target, got, want)
+						}
+						if want.Arrived {
+							if exp := expectedCrossings(snap, cluster.Map(), src, target); client.Crossings() != exp {
+								t.Fatalf("round %d query %d: crossings %d, oracle %d",
+									round, q, client.Crossings(), exp)
+							}
+						}
+					}
+					// Churn between rounds: joins and leaves, republish,
+					// rebind both sides to the same epoch.
+					for e := 0; e < 10; e++ {
+						if rng.Bool(0.5) {
+							if err := pub.Join(ctx); err != nil {
+								t.Fatal(err)
+							}
+						} else if live := pub.LiveN(); live > 32 {
+							if err := pub.Leave(ctx, rng.Intn(live)); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					snap = pub.Publish()
+					mono.Rebind(snap)
+					client.Rebind(snap)
+					if cluster.Snapshot() != snap {
+						t.Fatal("client rebind did not move the cluster")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardBitIdentityUnderFaults adds a fault mask: dead candidates
+// are skipped, dead sources fail cleanly, and the sharded walk still
+// matches the monolithic one bit for bit.
+func TestShardBitIdentityUnderFaults(t *testing.T) {
+	pub := newChurnPublisher(t, 400, keyspace.Ring, 31)
+	m, err := netmodel.New(netmodel.Config{DeadFrac: 0.15}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.SetFaultPlane(m)
+	snap := pub.Snapshot()
+	if snap.DeadCount() == 0 {
+		t.Fatal("fault mask empty; test needs dead nodes")
+	}
+	for _, k := range []int{2, 4, 8} {
+		cluster, err := New(pub, Config{Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := cluster.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono := snap.NewRouter()
+		rng := xrand.New(uint64(k))
+		deadTried := false
+		for q := 0; q < 800; q++ {
+			src := rng.Intn(snap.N())
+			deadTried = deadTried || snap.Dead(src)
+			target := keyspace.Key(rng.Float64())
+			want := mono.Route(src, target)
+			if got := client.Route(src, target); got != want {
+				t.Fatalf("K=%d query %d (%d->%v): sharded %+v, monolithic %+v",
+					k, q, src, target, got, want)
+			}
+		}
+		if !deadTried {
+			t.Fatal("no dead source sampled; weaken the mask seed check")
+		}
+		// Out-of-population sources fail identically without messages.
+		if got := client.Route(snap.N()+3, 0.5); got != (overlaynet.Result{Dest: -1}) {
+			t.Fatalf("stale source: %+v", got)
+		}
+		cluster.Close()
+	}
+}
+
+// TestShardObsCounters pins the shard metric family: queries, local
+// hops, forwards, and the crossings histogram all account.
+func TestShardObsCounters(t *testing.T) {
+	pub := newChurnPublisher(t, 256, keyspace.Ring, 41)
+	reg := obs.NewRegistry()
+	cluster, err := New(pub, Config{Shards: 4, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	const queries = 400
+	totalHops, totalCross := 0, 0
+	for q := 0; q < queries; q++ {
+		res := client.Route(rng.Intn(256), keyspace.Key(rng.Float64()))
+		totalHops += res.Hops
+		totalCross += client.Crossings()
+	}
+	if got := reg.ShardQueries.Value(); got != queries {
+		t.Fatalf("shard queries %d, want %d", got, queries)
+	}
+	if got := reg.ShardForwards.Value(); got != uint64(totalCross) {
+		t.Fatalf("forwards %d, crossings paid %d", got, totalCross)
+	}
+	var hopSum uint64
+	for i := range reg.ShardHops {
+		hopSum += reg.ShardHops[i].Value()
+	}
+	if hopSum != uint64(totalHops) {
+		t.Fatalf("per-shard hops sum %d, route hops %d", hopSum, totalHops)
+	}
+	if got := reg.CrossShardHops.Count(); got != queries {
+		t.Fatalf("crossings histogram count %d, want %d", got, queries)
+	}
+	if reg.WireSends.Value() == 0 || reg.WireBytes.Value() == 0 {
+		t.Fatal("wire counters not installed on the owned transport")
+	}
+	// Every query costs 1 query frame + crossings forwards + 1 result.
+	if want := uint64(2*queries + totalCross); reg.WireSends.Value() != want {
+		t.Fatalf("wire sends %d, want %d", reg.WireSends.Value(), want)
+	}
+}
+
+// TestMapSplit pins the shard map's interval splitter: pieces are
+// per-shard, disjoint, in arc order, and union back to the interval.
+func TestMapSplit(t *testing.T) {
+	m, err := NewMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []keyspace.Interval{
+		{Lo: 0.1, Hi: 0.2},   // inside one shard
+		{Lo: 0.2, Hi: 0.3},   // straddles 0.25
+		{Lo: 0.1, Hi: 0.9},   // three boundaries
+		{Lo: 0.9, Hi: 0.1},   // wraps the ring boundary
+		{Lo: 0.76, Hi: 0.74}, // wraps nearly all the way round
+		{Lo: 0.25, Hi: 0.5},  // exactly one shard's range
+	}
+	rng := xrand.New(17)
+	for _, iv := range cases {
+		subs := m.Split(iv)
+		if len(subs) == 0 {
+			t.Fatalf("%v: no pieces", iv)
+		}
+		var total float64
+		for i, sub := range subs {
+			if sub.Iv.Empty() {
+				t.Fatalf("%v: empty piece %d", iv, i)
+			}
+			if m.Of(sub.Iv.Lo) != sub.Shard {
+				t.Fatalf("%v piece %d: Lo %v not owned by shard %d", iv, i, sub.Iv.Lo, sub.Shard)
+			}
+			total += sub.Iv.Length()
+			if i == 0 && sub.Iv.Lo != iv.Lo {
+				t.Fatalf("%v: first piece starts at %v", iv, sub.Iv.Lo)
+			}
+			if i == len(subs)-1 && sub.Iv.Hi != iv.Hi {
+				t.Fatalf("%v: last piece ends at %v", iv, sub.Iv.Hi)
+			}
+		}
+		if diff := total - iv.Length(); diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("%v: pieces cover %v of %v", iv, total, iv.Length())
+		}
+		// Point-in-exactly-one-piece, sampled.
+		for s := 0; s < 200; s++ {
+			k := keyspace.Key(rng.Float64())
+			in := 0
+			for _, sub := range subs {
+				if sub.Iv.Contains(k) {
+					in++
+				}
+			}
+			want := 0
+			if iv.Contains(k) {
+				want = 1
+			}
+			if in != want {
+				t.Fatalf("%v: key %v in %d pieces, want %d", iv, k, in, want)
+			}
+		}
+	}
+}
+
+func topoName(t keyspace.Topology) string {
+	if t == keyspace.Ring {
+		return "ring"
+	}
+	return "line"
+}
+
+func itoa(v int) string {
+	if v >= 10 {
+		return string(rune('0'+v/10)) + string(rune('0'+v%10))
+	}
+	return string(rune('0' + v))
+}
+
+// BenchmarkShardRoute measures one routed query over the 4-shard
+// channel wire — the request/response round trip including every
+// cross-shard forward — against a 4096-node skewed overlay.
+func BenchmarkShardRoute(b *testing.B) {
+	pub := newChurnPublisher(b, 4096, keyspace.Ring, 3)
+	cluster, err := New(pub, Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := pub.Snapshot()
+	rng := xrand.New(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := client.Route(rng.Intn(snap.N()), keyspace.Key(rng.Float64()))
+		if res.Dest < 0 {
+			b.Fatal("route failed")
+		}
+	}
+}

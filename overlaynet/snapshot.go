@@ -1,7 +1,6 @@
 package overlaynet
 
 import (
-	"math"
 	"sort"
 	"sync/atomic"
 
@@ -348,50 +347,21 @@ func (r *SnapshotRouter) bindObs(h *obsHooks) {
 
 func (r *SnapshotRouter) routeRing(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
-	spine, csr := s.keys.spine, s.csr
-	var deadMask []bool
-	if s.faults != nil {
-		deadMask = s.faults.dead
-	}
 	var links []uint64
 	if s.obs != nil {
 		links = s.obs.links
 	}
-	tf := float64(target)
 	cur := src
-	dCur := float64(spine[cur>>keyChunkShift][cur&keyChunkMask]) - tf
-	if dCur < 0 {
-		dCur = -dCur
-	}
-	if dCur > 0.5 {
-		dCur = 1 - dCur
-	}
+	dCur := s.greedyDistance(cur, target)
 	guard := 2 * s.keys.n
 	hops := 0
 	for ; hops < guard; hops++ {
-		best, bestD, bestJ := -1, dCur, -1
-		bestKey := spine[cur>>keyChunkShift][cur&keyChunkMask]
-		for j, v := range csr.Out(cur) {
-			if deadMask != nil && deadMask[v] {
-				continue
-			}
-			vKey := spine[v>>keyChunkShift][v&keyChunkMask]
-			d := float64(vKey) - tf
-			if d < 0 {
-				d = -d
-			}
-			if d > 0.5 {
-				d = 1 - d
-			}
-			if d < bestD || (d == bestD && keyspace.Ring.Advances(bestKey, vKey, target)) {
-				best, bestD, bestJ, bestKey = int(v), d, j, vKey
-			}
-		}
+		best, bestD, bestJ := s.stepRing(cur, dCur, target)
 		if best == -1 {
 			break
 		}
 		if links != nil {
-			atomic.AddUint64(&links[csr.RowStart(cur)+bestJ], 1)
+			atomic.AddUint64(&links[s.csr.RowStart(cur)+bestJ], 1)
 		}
 		tr.Hop(float64(hops), 1, int32(best), bestJ, 0, obs.SpanHop, bestD)
 		cur, dCur = best, bestD
@@ -401,41 +371,21 @@ func (r *SnapshotRouter) routeRing(src int, target keyspace.Key, tr *obs.Trace) 
 
 func (r *SnapshotRouter) routeLine(src int, target keyspace.Key, tr *obs.Trace) Result {
 	s := r.s
-	spine, csr := s.keys.spine, s.csr
-	var deadMask []bool
-	if s.faults != nil {
-		deadMask = s.faults.dead
-	}
 	var links []uint64
 	if s.obs != nil {
 		links = s.obs.links
 	}
-	tf := float64(target)
 	cur := src
-	dCur := math.Abs(float64(spine[cur>>keyChunkShift][cur&keyChunkMask]) - tf)
+	dCur := s.greedyDistance(cur, target)
 	guard := 2 * s.keys.n
 	hops := 0
 	for ; hops < guard; hops++ {
-		best, bestD, bestJ := -1, dCur, -1
-		bestKey := spine[cur>>keyChunkShift][cur&keyChunkMask]
-		for j, v := range csr.Out(cur) {
-			if deadMask != nil && deadMask[v] {
-				continue
-			}
-			vKey := spine[v>>keyChunkShift][v&keyChunkMask]
-			d := float64(vKey) - tf
-			if d < 0 {
-				d = -d
-			}
-			if d < bestD || (d == bestD && keyspace.Line.Advances(bestKey, vKey, target)) {
-				best, bestD, bestJ, bestKey = int(v), d, j, vKey
-			}
-		}
+		best, bestD, bestJ := s.stepLine(cur, dCur, target)
 		if best == -1 {
 			break
 		}
 		if links != nil {
-			atomic.AddUint64(&links[csr.RowStart(cur)+bestJ], 1)
+			atomic.AddUint64(&links[s.csr.RowStart(cur)+bestJ], 1)
 		}
 		tr.Hop(float64(hops), 1, int32(best), bestJ, 0, obs.SpanHop, bestD)
 		cur, dCur = best, bestD
@@ -443,13 +393,169 @@ func (r *SnapshotRouter) routeLine(src int, target keyspace.Key, tr *obs.Trace) 
 	return Result{Hops: hops, Dest: cur, Arrived: r.arrived(dCur, target)}
 }
 
+// stepRing is the ring geometry's greedy candidate scan — THE single
+// definition of one routing step, shared by SnapshotRouter's inner
+// loop and the stepwise GreedyStep API the sharded serving plane walks
+// hop by hop. It returns the best improving out-neighbour of cur (its
+// index, its distance to target, and its position j in cur's row), or
+// best == -1 when no live neighbour improves on dCur. The float fold
+// and the exact-tie Advances tie-break are byte-for-byte the historic
+// inline loop: any change here changes routes everywhere at once,
+// which is exactly what the sharded bit-identity contract requires.
+func (s *Snapshot) stepRing(cur int, dCur float64, target keyspace.Key) (best int, bestD float64, bestJ int) {
+	spine, csr := s.keys.spine, s.csr
+	var deadMask []bool
+	if s.faults != nil {
+		deadMask = s.faults.dead
+	}
+	tf := float64(target)
+	best, bestD, bestJ = -1, dCur, -1
+	bestKey := spine[cur>>keyChunkShift][cur&keyChunkMask]
+	for j, v := range csr.Out(cur) {
+		if deadMask != nil && deadMask[v] {
+			continue
+		}
+		vKey := spine[v>>keyChunkShift][v&keyChunkMask]
+		d := float64(vKey) - tf
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.5 {
+			d = 1 - d
+		}
+		if d < bestD || (d == bestD && keyspace.Ring.Advances(bestKey, vKey, target)) {
+			best, bestD, bestJ, bestKey = int(v), d, j, vKey
+		}
+	}
+	return best, bestD, bestJ
+}
+
+// stepLine is stepRing for the line geometry (no distance fold).
+func (s *Snapshot) stepLine(cur int, dCur float64, target keyspace.Key) (best int, bestD float64, bestJ int) {
+	spine, csr := s.keys.spine, s.csr
+	var deadMask []bool
+	if s.faults != nil {
+		deadMask = s.faults.dead
+	}
+	tf := float64(target)
+	best, bestD, bestJ = -1, dCur, -1
+	bestKey := spine[cur>>keyChunkShift][cur&keyChunkMask]
+	for j, v := range csr.Out(cur) {
+		if deadMask != nil && deadMask[v] {
+			continue
+		}
+		vKey := spine[v>>keyChunkShift][v&keyChunkMask]
+		d := float64(vKey) - tf
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD || (d == bestD && keyspace.Line.Advances(bestKey, vKey, target)) {
+			best, bestD, bestJ, bestKey = int(v), d, j, vKey
+		}
+	}
+	return best, bestD, bestJ
+}
+
+// greedyDistance computes a node's distance to target with the exact
+// float operation sequence the routing loops have always used (manual
+// abs + ring fold), so stepwise callers start from bit-identical
+// state.
+func (s *Snapshot) greedyDistance(u int, target keyspace.Key) float64 {
+	d := float64(s.keys.spine[u>>keyChunkShift][u&keyChunkMask]) - float64(target)
+	if d < 0 {
+		d = -d
+	}
+	if s.topo == keyspace.Ring && d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// The Greedy* methods expose the snapshot's routing walk one hop at a
+// time, for executors that move a query between processes mid-route —
+// the sharded serving plane hands (cur, dCur) across a wire between
+// steps. The contract: a walk driven as
+//
+//	d, ok := s.GreedyInit(src, target)
+//	for hops := 0; ok && hops < s.GreedyGuard(); {
+//		next, dNext := s.GreedyStep(cur, dCur, target)
+//		if next == -1 { break }
+//		hops++; cur, dCur = next, dNext
+//	}
+//	arrived := s.GreedyArrived(dCur, target)
+//
+// produces bit-identical (dest, hops, arrived) to SnapshotRouter.Route
+// on the same snapshot, because both run the same step functions on
+// the same float state. dCur must be carried exactly (transports use
+// the IEEE bit pattern, wire.AppendF64) — re-deriving it from the
+// current node is equivalent, but carrying it keeps the step O(degree)
+// with no re-read.
+
+// GreedyInit begins a stepwise walk from src: it returns src's
+// distance to target and ok=false when the walk cannot start — src
+// outside the population or masked dead — which corresponds to
+// Route's clean Result{Dest: -1} failure. Delegated snapshots (see
+// Delegated) cannot be stepped.
+func (s *Snapshot) GreedyInit(src int, target keyspace.Key) (d float64, ok bool) {
+	if src < 0 || src >= s.keys.n || s.src != nil {
+		return 0, false
+	}
+	if s.faults != nil && s.faults.dead[src] {
+		return 0, false
+	}
+	return s.greedyDistance(src, target), true
+}
+
+// GreedyStep advances one hop: the best improving live neighbour of
+// cur, or next == -1 when the walk has reached its local minimum. dCur
+// must be the value the previous step (or GreedyInit) returned.
+func (s *Snapshot) GreedyStep(cur int, dCur float64, target keyspace.Key) (next int, dNext float64) {
+	if s.topo == keyspace.Ring {
+		next, dNext, _ = s.stepRing(cur, dCur, target)
+		return next, dNext
+	}
+	next, dNext, _ = s.stepLine(cur, dCur, target)
+	return next, dNext
+}
+
+// GreedyStepJ is GreedyStep plus the chosen neighbour's position j in
+// cur's adjacency row — what per-edge side tables (obs link counters)
+// key on. j is -1 when next is.
+func (s *Snapshot) GreedyStepJ(cur int, dCur float64, target keyspace.Key) (next int, dNext float64, j int) {
+	if s.topo == keyspace.Ring {
+		return s.stepRing(cur, dCur, target)
+	}
+	return s.stepLine(cur, dCur, target)
+}
+
+// GreedyGuard is the walk's hop bound, identical to Route's: a query
+// may take at most 2·N improving steps.
+func (s *Snapshot) GreedyGuard() int { return 2 * s.keys.n }
+
+// GreedyArrived reports whether a walk that stopped at distance d
+// counts as delivered — d is minimal over the (mask-live) population.
+func (s *Snapshot) GreedyArrived(d float64, target keyspace.Key) bool {
+	return s.arrivedAt(d, target)
+}
+
+// Delegated reports whether this snapshot routes through a retained
+// source overlay (Chord, Pastry — directional rules the captured CSR
+// cannot express greedily). Delegated snapshots route only through
+// NewRouter; the stepwise Greedy API refuses them.
+func (s *Snapshot) Delegated() bool { return s.src != nil }
+
 // arrived reports whether a route that stopped at distance d reached a
 // minimal-distance node for the target — minimal over the mask-live
 // population when the snapshot carries a fault mask (the responsible
 // node itself may be dead; stopping at its closest live neighbour is
 // then a correct delivery).
 func (r *SnapshotRouter) arrived(d float64, target keyspace.Key) bool {
-	s := r.s
+	return r.s.arrivedAt(d, target)
+}
+
+// arrivedAt is arrived's snapshot-level body, shared with the stepwise
+// Greedy API.
+func (s *Snapshot) arrivedAt(d float64, target keyspace.Key) bool {
 	nearest := s.rank.Nearest(s.topo, target)
 	if nearest < 0 {
 		return false

@@ -1,0 +1,96 @@
+// External test package: the shard package sits above overlaynet,
+// which imports this package, so an internal test would cycle.
+package smallworld_test
+
+import (
+	"math"
+	"testing"
+
+	smallworld "smallworld"
+	"smallworld/keyspace"
+	"smallworld/overlaynet/shard"
+)
+
+// shardUlpChain mirrors the internal ulpChain helper (not visible from
+// an external test package): count keys each one ulp above the last.
+func shardUlpChain(x float64, count int) []keyspace.Key {
+	ks := make([]keyspace.Key, count)
+	for i := range ks {
+		ks[i] = keyspace.Key(x)
+		x = math.Nextafter(x, 2)
+	}
+	return ks
+}
+
+// shardClusterNetwork mirrors skewedClusterNetwork: ulp-dense clusters
+// around 0.5 and just below the ring wrap, plus isolated peers.
+func shardClusterNetwork(t *testing.T) *smallworld.Network {
+	t.Helper()
+	keys := shardUlpChain(0.5, 9)
+	keys = append(keys, shardUlpChain(math.Nextafter(math.Nextafter(1, 0), 0), 2)...)
+	keys = append(keys, 0.05, 0.2, 0.8)
+	cfg := smallworld.UniformConfig(len(keys), 101)
+	cfg.Topology = keyspace.Ring
+	cfg.Keys = keys
+	nw, err := smallworld.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestRangeLookupAcrossShards pins the decomposition the sharded store
+// plane relies on: splitting an interval by the shard map and running
+// one RangeLookup per piece visits exactly the nodes the whole-interval
+// lookup visits, in the same arc order — junction nodes (cells
+// straddling a shard boundary) appearing once per side and deduped at
+// the seam. Exercised on the degenerate population: ulp-dense clusters
+// at 0.5 (a 4-shard boundary) and just below the ring wrap.
+func TestRangeLookupAcrossShards(t *testing.T) {
+	nw := shardClusterNetwork(t)
+	m, err := shard.NewMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := []keyspace.Interval{
+		{Lo: 0.4, Hi: 0.6}, // straddles 0.5 inside the ulp cluster
+		{Lo: keyspace.Key(math.Nextafter(0.5, 0)), Hi: 0.7}, // one ulp below the boundary
+		{Lo: 0.1, Hi: 0.85}, // three boundaries
+		{Lo: 0.9, Hi: 0.1},  // wrapping ring boundary
+		{Lo: keyspace.Key(math.Nextafter(1, 0)), Hi: 0.3}, // wrap from the top ulp cluster
+		{Lo: 0.6, Hi: 0.4}, // wraps nearly all the way round
+	}
+	for _, iv := range ivs {
+		for src := 0; src < nw.N(); src++ {
+			whole := nw.RangeLookup(src, iv)
+			if len(whole.Nodes) == 0 {
+				t.Fatalf("%v: whole lookup found no nodes", iv)
+			}
+			subs := m.Split(iv)
+			if len(subs) < 2 {
+				t.Fatalf("%v: expected a cross-shard interval, got %d piece(s)", iv, len(subs))
+			}
+			var pieced []int
+			for _, sub := range subs {
+				for _, u := range nw.RangeLookup(src, sub.Iv).Nodes {
+					// A cell straddling the seam ends one piece and opens
+					// the next (or, spanning a whole shard, several).
+					if len(pieced) > 0 && pieced[len(pieced)-1] == u {
+						continue
+					}
+					pieced = append(pieced, u)
+				}
+			}
+			if len(pieced) != len(whole.Nodes) {
+				t.Fatalf("%v from %d: %d nodes whole, %d pieced (%v vs %v)",
+					iv, src, len(whole.Nodes), len(pieced), whole.Nodes, pieced)
+			}
+			for i := range pieced {
+				if pieced[i] != whole.Nodes[i] {
+					t.Fatalf("%v from %d: node %d is %d pieced, %d whole",
+						iv, src, i, pieced[i], whole.Nodes[i])
+				}
+			}
+		}
+	}
+}

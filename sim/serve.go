@@ -13,9 +13,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smallworld/keyspace"
 	"smallworld/metrics"
 	"smallworld/obs"
 	"smallworld/overlaynet"
+	"smallworld/overlaynet/shard"
+	"smallworld/wire"
 	"smallworld/xrand"
 )
 
@@ -42,6 +45,9 @@ const (
 	SeriesLatP99Us = "lat_p99_us"
 	SeriesEpoch    = "epoch"
 	SeriesChurn    = "churn_events"
+	// SeriesCrossShard (mean cross-shard forwards per query) is emitted
+	// only when ServeConfig.Shards > 0.
+	SeriesCrossShard = "cross_shard_mean"
 )
 
 // serveLatCap bounds the per-worker latency/hop samples kept per
@@ -84,6 +90,30 @@ type ServeConfig struct {
 	// PinEvery is how many queries a worker routes against one pinned
 	// snapshot before re-pinning to the latest epoch. Default 512.
 	PinEvery int
+	// Shards, when positive, partitions serving across K keyspace
+	// shards behind the message wire (package overlaynet/shard): each
+	// worker routes through its own shard client, so every query pays
+	// real message sends — one query frame, one forward per shard
+	// crossing, one result — and the report gains a cross-shard
+	// forwarding series. 0 keeps the monolithic in-process router.
+	// Routing computes the same thing either way (the shard package's
+	// bit-identity tests pin it); one honest distributed-systems
+	// artifact appears under churn: workers share the cluster but pin
+	// epochs independently, so a query can race a fresher serving epoch
+	// and fail cleanly — a fraction of a percent at preset churn rates.
+	Shards int
+	// Transport carries shard traffic when Shards > 0. Nil builds an
+	// owned in-process channel transport torn down with the run; pass a
+	// wire.NewFault-wrapped transport to compose sharded serving with
+	// message-level faults (and set ShardTimeout/ShardRetries so lost
+	// frames surface as clean routing failures instead of hangs).
+	Transport wire.Transport
+	// ShardTimeout bounds one shard query attempt's wait for its result
+	// frame; ShardRetries is the resend budget after the first timeout.
+	// Zero values wait forever / never resend — correct only on a
+	// loss-free transport. Ignored when Shards is 0.
+	ShardTimeout time.Duration
+	ShardRetries int
 	// Obs, when non-nil, is installed on the publisher for the run
 	// (Publisher.SetObs): published snapshots carry the counter hooks,
 	// workers feed the wall-clock latency histogram, and the loop keeps
@@ -139,20 +169,25 @@ type ServeTotals struct {
 // ServeReport is the recorded outcome of one Serve run: totals,
 // whole-run quantiles, and one windowed series per health metric.
 type ServeReport struct {
-	Scenario string           `json:"scenario"`
-	Overlay  string           `json:"overlay"`
-	Workers  int              `json:"workers"`
-	Seconds  float64          `json:"seconds"`
-	Totals   ServeTotals      `json:"totals"`
-	QPS      float64          `json:"qps"`
-	HopsMean float64          `json:"hops_mean"`
-	HopsP50  float64          `json:"hops_p50"`
-	HopsP95  float64          `json:"hops_p95"`
-	HopsP99  float64          `json:"hops_p99"`
-	LatP50Us float64          `json:"lat_p50_us"`
-	LatP95Us float64          `json:"lat_p95_us"`
-	LatP99Us float64          `json:"lat_p99_us"`
-	Series   []metrics.Series `json:"series"`
+	Scenario string  `json:"scenario"`
+	Overlay  string  `json:"overlay"`
+	Workers  int     `json:"workers"`
+	Seconds  float64 `json:"seconds"`
+	// Shards and CrossMean describe the sharded serving plane: shard
+	// count and mean cross-shard forwards per query. Zero when the run
+	// served through the monolithic in-process router.
+	Shards    int              `json:"shards,omitempty"`
+	CrossMean float64          `json:"cross_shard_mean,omitempty"`
+	Totals    ServeTotals      `json:"totals"`
+	QPS       float64          `json:"qps"`
+	HopsMean  float64          `json:"hops_mean"`
+	HopsP50   float64          `json:"hops_p50"`
+	HopsP95   float64          `json:"hops_p95"`
+	HopsP99   float64          `json:"hops_p99"`
+	LatP50Us  float64          `json:"lat_p50_us"`
+	LatP95Us  float64          `json:"lat_p95_us"`
+	LatP99Us  float64          `json:"lat_p99_us"`
+	Series    []metrics.Series `json:"series"`
 }
 
 // Get returns the named series, or nil.
@@ -186,6 +221,10 @@ func (r *ServeReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serve %s on %s (%d workers, %.2fs wall clock)\n",
 		r.Scenario, r.Overlay, r.Workers, r.Seconds)
+	if r.Shards > 0 {
+		fmt.Fprintf(&b, "sharded: K=%d over the message wire, %.2f cross-shard forwards/query\n",
+			r.Shards, r.CrossMean)
+	}
 	cols := []string{"t(s)", "qps", "hops", "p95", "latP95µs", "fail%", "nodes", "epoch"}
 	names := []string{SeriesQPS, SeriesHopsMean, SeriesHopsP95, SeriesLatP95Us,
 		SeriesFailRate, SeriesLiveNodes, SeriesEpoch}
@@ -235,18 +274,20 @@ type serveAcc struct {
 	failures int64
 	hopSum   float64
 	latSum   float64
+	crossSum float64   // cross-shard forwards (sharded runs only)
 	hops     []float64 // capped at serveLatCap per window
 	lats     []float64 // µs, capped at serveLatCap per window
-	_        [40]byte
+	_        [32]byte
 }
 
 // flush merges a worker-local batch into the accumulator.
-func (a *serveAcc) flush(queries, failures int64, hopSum, latSum float64, hops, lats []float64) {
+func (a *serveAcc) flush(queries, failures int64, hopSum, latSum, crossSum float64, hops, lats []float64) {
 	a.mu.Lock()
 	a.queries += queries
 	a.failures += failures
 	a.hopSum += hopSum
 	a.latSum += latSum
+	a.crossSum += crossSum
 	if room := serveLatCap - len(a.hops); room > 0 {
 		a.hops = append(a.hops, hops[:min(room, len(hops))]...)
 	}
@@ -258,13 +299,13 @@ func (a *serveAcc) flush(queries, failures int64, hopSum, latSum float64, hops, 
 
 // drain moves the accumulated window into the caller's buffers and
 // resets the accumulator.
-func (a *serveAcc) drain(hops, lats *[]float64) (queries, failures int64, hopSum, latSum float64) {
+func (a *serveAcc) drain(hops, lats *[]float64) (queries, failures int64, hopSum, latSum, crossSum float64) {
 	a.mu.Lock()
 	queries, failures = a.queries, a.failures
-	hopSum, latSum = a.hopSum, a.latSum
+	hopSum, latSum, crossSum = a.hopSum, a.latSum, a.crossSum
 	*hops = append(*hops, a.hops...)
 	*lats = append(*lats, a.lats...)
-	a.queries, a.failures, a.hopSum, a.latSum = 0, 0, 0, 0
+	a.queries, a.failures, a.hopSum, a.latSum, a.crossSum = 0, 0, 0, 0, 0
 	a.hops = a.hops[:0]
 	a.lats = a.lats[:0]
 	a.mu.Unlock()
@@ -289,9 +330,35 @@ func Serve(ctx context.Context, pub *overlaynet.Publisher, cfg ServeConfig) (*Se
 	if math.IsNaN(cfg.JoinFrac) || cfg.JoinFrac < 0 || cfg.JoinFrac > 1 {
 		return nil, fmt.Errorf("sim: join fraction %v outside [0,1]", cfg.JoinFrac)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("sim: shard count %d must be non-negative", cfg.Shards)
+	}
 
 	if cfg.Obs != nil || cfg.Tracer != nil {
 		pub.SetObs(cfg.Obs, cfg.Tracer)
+	}
+
+	// Sharded serving plane: one cluster, one wire client per worker.
+	var cluster *shard.Cluster
+	var clients []*shard.Client
+	if cfg.Shards > 0 {
+		var err error
+		cluster, err = shard.New(pub, shard.Config{
+			Shards: cfg.Shards, Transport: cfg.Transport, Obs: cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer cluster.Close()
+		clients = make([]*shard.Client, cfg.Workers)
+		for w := range clients {
+			cl, err := cluster.NewClient()
+			if err != nil {
+				return nil, err
+			}
+			cl.Timeout, cl.Retries = cfg.ShardTimeout, cfg.ShardRetries
+			clients[w] = cl
+		}
 	}
 
 	master := xrand.New(cfg.Seed)
@@ -311,6 +378,7 @@ func Serve(ctx context.Context, pub *overlaynet.Publisher, cfg ServeConfig) (*Se
 		Scenario: cfg.Name,
 		Overlay:  pub.Snapshot().Kind(),
 		Workers:  cfg.Workers,
+		Shards:   cfg.Shards,
 		Totals:   ServeTotals{StartNodes: pub.Snapshot().N()},
 	}
 
@@ -318,16 +386,20 @@ func Serve(ctx context.Context, pub *overlaynet.Publisher, cfg ServeConfig) (*Se
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func(acc *serveAcc, seed uint64) {
+		var cl *shard.Client
+		if clients != nil {
+			cl = clients[w]
+		}
+		go func(acc *serveAcc, seed uint64, cl *shard.Client) {
 			defer wg.Done()
-			serveWorker(pub, cfg, acc, seed, &stop)
-		}(accs[w], seeds[w])
+			serveWorker(pub, cfg, acc, seed, cl, &stop)
+		}(accs[w], seeds[w], cl)
 	}
 
 	// The recorder state lives on this goroutine; workers only touch
 	// their accumulators.
 	start := time.Now()
-	rec := newServeRecorder()
+	rec := newServeRecorder(cfg.Shards > 0)
 	var joins, leaves, rejected int
 	winJoins, winLeaves := 0, 0
 	closeWindow := func(now time.Time) {
@@ -392,10 +464,22 @@ loop:
 	return rep, err
 }
 
+// serveRouter is the worker-side routing surface both serving planes
+// share: the monolithic *overlaynet.SnapshotRouter and the sharded
+// *shard.Client.
+type serveRouter interface {
+	Route(src int, target keyspace.Key) overlaynet.Result
+	Rebind(*overlaynet.Snapshot)
+}
+
 // serveWorker is one closed-loop query goroutine: pin a snapshot, route
 // PinEvery queries on a worker-private router and RNG, flush the batch
-// into the shared accumulator, re-pin, repeat until stopped.
-func serveWorker(pub *overlaynet.Publisher, cfg ServeConfig, acc *serveAcc, seed uint64, stop *atomic.Bool) {
+// into the shared accumulator, re-pin, repeat until stopped. With a
+// shard client the re-pin rebinds the whole cluster — workers race to
+// the latest epoch, which is harmless: Serve measures the machine, not
+// a replayable trajectory, and every epoch any worker pins is a
+// published one.
+func serveWorker(pub *overlaynet.Publisher, cfg ServeConfig, acc *serveAcc, seed uint64, cl *shard.Client, stop *atomic.Bool) {
 	rng := xrand.New(seed)
 	target := cfg.Target
 	if target == nil {
@@ -406,12 +490,17 @@ func serveWorker(pub *overlaynet.Publisher, cfg ServeConfig, acc *serveAcc, seed
 	// thing the router cannot know — wall-clock latency.
 	reg := cfg.Obs
 	snap := pub.Snapshot()
-	router := snap.NewRouter().(*overlaynet.SnapshotRouter)
+	var router serveRouter
+	if cl != nil {
+		router = cl
+	} else {
+		router = snap.NewRouter().(*overlaynet.SnapshotRouter)
+	}
 	hops := make([]float64, 0, cfg.PinEvery)
 	lats := make([]float64, 0, cfg.PinEvery)
 	for !stop.Load() {
 		var queries, failures int64
-		var hopSum, latSum float64
+		var hopSum, latSum, crossSum float64
 		hops, lats = hops[:0], lats[:0]
 		n := snap.N()
 		for i := 0; i < cfg.PinEvery; i++ {
@@ -434,10 +523,13 @@ func serveWorker(pub *overlaynet.Publisher, cfg ServeConfig, acc *serveAcc, seed
 			} else {
 				failures++
 			}
+			if cl != nil {
+				crossSum += float64(cl.Crossings())
+			}
 			latSum += lat
 			lats = append(lats, lat)
 		}
-		acc.flush(queries, failures, hopSum, latSum, hops, lats)
+		acc.flush(queries, failures, hopSum, latSum, crossSum, hops, lats)
 		snap = pub.Snapshot()
 		router.Rebind(snap)
 	}
@@ -466,24 +558,30 @@ func (cc *churnClock) next(rng *xrand.Stream) {
 // serveRecorder assembles the windowed series and the whole-run
 // quantile samples.
 type serveRecorder struct {
-	series   [12]metrics.Series
+	series   [13]metrics.Series
+	sharded  bool // emit the cross-shard series (13th slot)
 	allHops  []float64
 	allLats  []float64
 	hopSum   float64
 	latSum   float64
+	crossSum float64
 	queries  int64
 	failures int64
 	winHops  []float64
 	winLats  []float64
 }
 
-func newServeRecorder() *serveRecorder {
-	rec := &serveRecorder{}
-	for i, name := range []string{
+func newServeRecorder(sharded bool) *serveRecorder {
+	rec := &serveRecorder{sharded: sharded}
+	names := []string{
 		SeriesQPS, SeriesHopsMean, SeriesHopsP50, SeriesHopsP95, SeriesHopsP99,
 		SeriesLatP50Us, SeriesLatP95Us, SeriesLatP99Us,
 		SeriesFailRate, SeriesLiveNodes, SeriesEpoch, SeriesChurn,
-	} {
+	}
+	if sharded {
+		names = append(names, SeriesCrossShard)
+	}
+	for i, name := range names {
 		rec.series[i].Name = name
 	}
 	return rec
@@ -495,13 +593,14 @@ func (rec *serveRecorder) closeWindow(rep *ServeReport, accs []*serveAcc, pub *o
 	rec.winHops = rec.winHops[:0]
 	rec.winLats = rec.winLats[:0]
 	var queries, failures int64
-	var hopSum, latSum float64
+	var hopSum, latSum, crossSum float64
 	for _, acc := range accs {
-		q, f, hs, ls := acc.drain(&rec.winHops, &rec.winLats)
+		q, f, hs, ls, cs := acc.drain(&rec.winHops, &rec.winLats)
 		queries += q
 		failures += f
 		hopSum += hs
 		latSum += ls
+		crossSum += cs
 	}
 	if queries == 0 && winJoins+winLeaves == 0 {
 		return
@@ -510,6 +609,7 @@ func (rec *serveRecorder) closeWindow(rep *ServeReport, accs []*serveAcc, pub *o
 	rec.failures += failures
 	rec.hopSum += hopSum
 	rec.latSum += latSum
+	rec.crossSum += crossSum
 	rec.allHops = append(rec.allHops, rec.winHops...)
 	rec.allLats = append(rec.allLats, rec.winLats...)
 
@@ -545,6 +645,13 @@ func (rec *serveRecorder) closeWindow(rep *ServeReport, accs []*serveAcc, pub *o
 	} {
 		rec.series[i].Add(t, v)
 	}
+	if rec.sharded {
+		crossMean := 0.0
+		if queries > 0 {
+			crossMean = crossSum / float64(queries)
+		}
+		rec.series[12].Add(t, crossMean)
+	}
 }
 
 // quantileOrZero guards the empty-window case: a window that recorded
@@ -560,7 +667,13 @@ func quantileOrZero(sorted []float64, p float64) float64 {
 
 // finish computes whole-run aggregates into the report.
 func (rec *serveRecorder) finish(rep *ServeReport) {
-	rep.Series = rec.series[:]
+	rep.Series = rec.series[:12]
+	if rec.sharded {
+		rep.Series = rec.series[:13]
+		if rec.queries > 0 {
+			rep.CrossMean = rec.crossSum / float64(rec.queries)
+		}
+	}
 	rep.Totals.Queries = rec.queries
 	rep.Totals.Failures = rec.failures
 	rep.Totals.Arrived = rec.queries - rec.failures

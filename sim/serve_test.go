@@ -10,8 +10,10 @@ import (
 
 	"smallworld/dist"
 	"smallworld/keyspace"
+	"smallworld/netmodel"
 	"smallworld/overlaynet"
 	"smallworld/sim"
+	"smallworld/wire"
 )
 
 func servePublisher(t *testing.T, n int, opts ...overlaynet.PublisherOption) *overlaynet.Publisher {
@@ -217,5 +219,102 @@ func TestServePresets(t *testing.T) {
 	}
 	if rep.Totals.Queries == 0 {
 		t.Fatal("preset served no queries")
+	}
+}
+
+// TestServeSharded runs the closed loop through a 4-shard cluster over
+// the channel wire: queries ride real message sends, the report gains
+// the cross-shard forwarding series, and nothing fails on a loss-free
+// transport.
+func TestServeSharded(t *testing.T) {
+	pub := servePublisher(t, 256, overlaynet.PublishEvery(2))
+	rep, err := sim.Serve(context.Background(), pub, sim.ServeConfig{
+		Name:      "sharded",
+		Workers:   4,
+		Duration:  250 * time.Millisecond,
+		Window:    50 * time.Millisecond,
+		ChurnRate: 500,
+		Seed:      5,
+		PinEvery:  128,
+		Shards:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Queries == 0 {
+		t.Fatal("no queries served")
+	}
+	// Workers share one cluster but pin epochs independently, so under
+	// churn a few queries race a fresher serving epoch and fail cleanly
+	// (see ServeConfig.Shards). The wire itself loses nothing.
+	if frac := float64(rep.Totals.Failures) / float64(rep.Totals.Queries); frac > 0.01 {
+		t.Fatalf("%d/%d queries failed over a loss-free wire", rep.Totals.Failures, rep.Totals.Queries)
+	}
+	if rep.Shards != 4 {
+		t.Fatalf("report shards = %d", rep.Shards)
+	}
+	if rep.CrossMean <= 0 {
+		t.Fatal("no cross-shard forwards on uniform targets over 4 shards")
+	}
+	s := rep.Get(sim.SeriesCrossShard)
+	if s == nil || s.Len() == 0 {
+		t.Fatal("cross-shard series missing")
+	}
+	if !strings.Contains(rep.String(), "cross-shard") {
+		t.Fatal("String() missing the sharded line")
+	}
+}
+
+// TestServeShardedSeriesAbsentUnsharded pins report-shape stability:
+// a monolithic run's series set must not grow the cross-shard series
+// (recorded serve JSON from earlier releases stays comparable).
+func TestServeShardedSeriesAbsentUnsharded(t *testing.T) {
+	pub := servePublisher(t, 64)
+	rep, err := sim.Serve(context.Background(), pub, sim.ServeConfig{
+		Duration: 60 * time.Millisecond, Window: 20 * time.Millisecond, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Get(sim.SeriesCrossShard) != nil {
+		t.Fatal("unsharded run emitted the cross-shard series")
+	}
+	if rep.Shards != 0 {
+		t.Fatalf("unsharded report shards = %d", rep.Shards)
+	}
+}
+
+// TestServeShardedLossy composes the shard plane with message-level
+// faults: a lossy FaultTransport under every frame, client timeouts
+// and retries as the recovery path. The run must terminate with the
+// overwhelming majority of queries served.
+func TestServeShardedLossy(t *testing.T) {
+	pub := servePublisher(t, 128, overlaynet.PublishEvery(2))
+	model, err := netmodel.New(netmodel.Config{Loss: 0.05}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Serve(context.Background(), pub, sim.ServeConfig{
+		Name:         "sharded-lossy",
+		Workers:      2,
+		Duration:     200 * time.Millisecond,
+		Window:       50 * time.Millisecond,
+		Seed:         7,
+		PinEvery:     64,
+		Shards:       4,
+		Transport:    wire.NewFault(wire.NewChan(), model, nil),
+		ShardTimeout: 5 * time.Millisecond,
+		ShardRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Queries == 0 {
+		t.Fatal("no queries served under loss")
+	}
+	// 5% frame loss with 3 retries leaves well under 1% of queries
+	// unserved; anything higher means retries are not resending.
+	if frac := float64(rep.Totals.Failures) / float64(rep.Totals.Queries); frac > 0.05 {
+		t.Fatalf("%.1f%% of queries failed at 5%% loss with retries", 100*frac)
 	}
 }

@@ -63,6 +63,37 @@ type Config struct {
 	// changes arrive via ApplyChange instead of snapshot diffing. The
 	// caller must then actually deliver the events (see package doc).
 	EventDriven bool
+	// Locator, when non-nil, replaces the store's private
+	// SnapshotRouter for locate routes: every Put/Get/Scan resolves its
+	// owner through it, and the store rebinds it at each snapshot
+	// adoption. A shard.Client here turns every locate into messages
+	// across a shard cluster — with bit-identical hop counts, per the
+	// shard plane's contract.
+	Locator Locator
+	// ShardOf, when non-nil, labels each member with its owning shard
+	// for handover accounting: repair copies whose source and
+	// destination members live in different shards count into
+	// Stats.CrossShardMoves. Nil costs nothing.
+	ShardOf func(keyspace.Key) int
+	// BatchHandover coalesces handover/sweep repair copies into one
+	// bulk transfer per (membership event, destination member) instead
+	// of one transfer per key copy — Stats.Transfers shows the
+	// reduction. The copies themselves (which keys move where, their
+	// byte payloads) are identical either way.
+	BatchHandover bool
+	// TransferOverheadBytes charges a fixed per-transfer framing cost
+	// into Stats.BytesMoved, which is what makes the batching reduction
+	// visible in the bytes_moved series. Zero — the default — keeps
+	// BytesMoved bit-identical to earlier releases.
+	TransferOverheadBytes int
+}
+
+// Locator routes a store's locate operations and follows the store
+// across snapshot adoptions. *overlaynet.SnapshotRouter and
+// *shard.Client implement it.
+type Locator interface {
+	overlaynet.Router
+	Rebind(*overlaynet.Snapshot)
 }
 
 // DefaultReplicas is R when Config.Replicas is zero.
@@ -102,6 +133,14 @@ type Stats struct {
 	Trimmed      int64 // copies removed from nodes outside the replica set
 	BytesMoved   int64 // value bytes copied between nodes for repair
 	Sweeps       int64 // anti-entropy passes
+	// Transfers counts the bulk movements that carried handover/sweep
+	// repair copies: one per copy unbatched, one per (membership event,
+	// destination member) with Config.BatchHandover. Read repairs are
+	// point fixes and never count here.
+	Transfers int64
+	// CrossShardMoves counts handover copies whose source and
+	// destination members belong to different shards (Config.ShardOf).
+	CrossShardMoves int64
 }
 
 // PutResult reports one write.
@@ -227,9 +266,16 @@ type Store struct {
 
 	synced   *overlaynet.Snapshot
 	router   *overlaynet.SnapshotRouter
+	locator  Locator
 	topology keyspace.Topology
 	epoch    uint64 // membership views observed (Stamp.Epoch source)
 	seq      uint64 // global write counter (Stamp.Seq source)
+
+	// Handover transfer accounting (see Config.BatchHandover).
+	shardOf   func(keyspace.Key) int
+	batch     bool
+	overheadB int
+	pending   map[keyspace.Key]struct{} // dest members of the open event's copies
 
 	stats Stats
 
@@ -253,11 +299,18 @@ func New(src Source, cfg Config) (*Store, error) {
 	if r == 0 {
 		r = DefaultReplicas
 	}
+	if cfg.TransferOverheadBytes < 0 {
+		return nil, fmt.Errorf("store: negative transfer overhead %d", cfg.TransferOverheadBytes)
+	}
 	s := &Store{
-		src:     src,
-		r:       r,
-		evs:     cfg.EventDriven,
-		buckets: make(map[keyspace.Key]*bucket),
+		src:       src,
+		r:         r,
+		evs:       cfg.EventDriven,
+		locator:   cfg.Locator,
+		shardOf:   cfg.ShardOf,
+		batch:     cfg.BatchHandover,
+		overheadB: cfg.TransferOverheadBytes,
+		buckets:   make(map[keyspace.Key]*bucket),
 	}
 	snap := src.Snapshot()
 	if snap == nil {
@@ -278,6 +331,10 @@ func (s *Store) adoptLocked(snap *overlaynet.Snapshot) {
 	s.synced = snap
 	s.topology = snap.Topology()
 	s.epoch++
+	if s.locator != nil {
+		s.locator.Rebind(snap)
+		return
+	}
 	if s.router == nil {
 		s.router = snap.NewRouter().(*overlaynet.SnapshotRouter)
 	} else {
@@ -328,6 +385,7 @@ func (s *Store) syncLocked() {
 	for _, k := range fresh {
 		s.repairArrivalLocked(k)
 	}
+	s.flushTransfersLocked()
 }
 
 // Sync forces a membership reconciliation against the source's current
@@ -351,6 +409,7 @@ func (s *Store) ApplyChange(ch overlaynet.OwnershipChange) {
 		}
 		s.addMemberLocked(ch.Node)
 		s.repairArrivalLocked(ch.Node)
+		s.flushTransfersLocked()
 		return
 	}
 	if s.rankOfMemberLocked(ch.Node) < 0 {
@@ -358,6 +417,7 @@ func (s *Store) ApplyChange(ch overlaynet.OwnershipChange) {
 	}
 	s.removeMemberLocked(ch.Node)
 	s.repairDepartureLocked(ch.Node)
+	s.flushTransfersLocked()
 }
 
 // rankOfMemberLocked returns k's rank in the member list, -1 when not a
@@ -492,10 +552,11 @@ func (s *Store) repairRangeLocked(iv keyspace.Interval) {
 // desired replica that is missing it or stale.
 func (s *Store) rereplicateKeyLocked(k keyspace.Key) {
 	var best entry
+	var from keyspace.Key
 	found := false
 	for _, m := range s.members {
 		if e, ok := s.buckets[m].data[k]; ok && (!found || best.stamp.Less(e.stamp)) {
-			best, found = e, true
+			best, from, found = e, m, true
 		}
 	}
 	if !found {
@@ -503,13 +564,49 @@ func (s *Store) rereplicateKeyLocked(k keyspace.Key) {
 	}
 	var scratch [8]int
 	for _, rk := range s.replicaRanksLocked(k, scratch[:0]) {
-		b := s.buckets[s.members[rk]]
+		to := s.members[rk]
+		b := s.buckets[to]
 		if e, ok := b.data[k]; ok && !e.stamp.Less(best.stamp) {
 			continue
 		}
 		b.put(k, best.val, best.stamp)
 		s.stats.Rereplicated++
 		s.stats.BytesMoved += int64(len(best.val))
+		s.recordHandoverLocked(from, to)
+	}
+}
+
+// recordHandoverLocked accounts one handover/sweep repair copy from
+// member `from` to member `to`. Unbatched, every copy is its own
+// transfer (plus the configured per-transfer overhead); batched,
+// copies coalesce per destination until the enclosing membership event
+// flushes (flushTransfersLocked) — modelling one bulk frame per
+// destination instead of one per key.
+func (s *Store) recordHandoverLocked(from, to keyspace.Key) {
+	if s.shardOf != nil && from != to && s.shardOf(from) != s.shardOf(to) {
+		s.stats.CrossShardMoves++
+	}
+	if !s.batch {
+		s.stats.Transfers++
+		s.stats.BytesMoved += int64(s.overheadB)
+		return
+	}
+	if s.pending == nil {
+		s.pending = make(map[keyspace.Key]struct{})
+	}
+	s.pending[to] = struct{}{}
+}
+
+// flushTransfersLocked closes the open membership event's coalesced
+// transfers: one per destination member that received copies.
+func (s *Store) flushTransfersLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.stats.Transfers += int64(len(s.pending))
+	s.stats.BytesMoved += int64(len(s.pending)) * int64(s.overheadB)
+	for m := range s.pending {
+		delete(s.pending, m)
 	}
 }
 
@@ -517,7 +614,13 @@ func (s *Store) rereplicateKeyLocked(k keyspace.Key) {
 // snapshot and returns the hop count; src < 0 (a store-internal caller
 // with no overlay position) costs nothing.
 func (s *Store) locateLocked(src int, k keyspace.Key) int {
-	if src < 0 || s.router == nil {
+	if src < 0 {
+		return 0
+	}
+	if s.locator != nil {
+		return s.locator.Route(src, k).Hops
+	}
+	if s.router == nil {
 		return 0
 	}
 	return s.router.Route(src, k).Hops
@@ -741,6 +844,7 @@ func (s *Store) sweepLocked() {
 			}
 		}
 	}
+	s.flushTransfersLocked()
 }
 
 // allKeysLocked returns every stored key, deduplicated, ascending.

@@ -1,0 +1,72 @@
+// Package wire is the message transport under the sharded serving
+// plane: a framing codec plus a Transport interface small enough that
+// an in-process channel transport (NewChan), a UDP socket, or a gRPC
+// stream are interchangeable. The sharded router in overlaynet/shard
+// speaks only this package, so "a routed hop is a message send" holds
+// regardless of what carries the bytes.
+//
+// # Framing
+//
+// Every message is one length-delimited binary frame: a fixed 22-byte
+// header (version, type, from, to, correlation id, payload length)
+// followed by the payload. AppendFrame/ParseFrame are exact inverses;
+// ParseFrame additionally reports how many bytes the frame consumed,
+// so stream transports (TCP, gRPC byte streams) can split a read
+// buffer into frames without any out-of-band delimiter — the property
+// that makes a streaming transport a drop-in behind the same codec.
+// Datagram transports (UDP, the channel transport here) carry exactly
+// one frame per message.
+//
+// Payloads are built with the AppendU*/AppendF64 helpers and decoded
+// with a Reader — fixed-width little-endian fields, no reflection, no
+// allocation on either side beyond the frame buffer itself.
+//
+// # Delivery contract
+//
+// Send is fire-and-forget and may drop (a fault-injecting transport
+// does so deliberately); ordering is guaranteed only between one
+// sender/receiver pair on the channel transport and not promised by
+// the interface. Handlers run one frame at a time per endpoint, in
+// delivery order — an endpoint is a single-threaded actor, which is
+// what lets the shard servers keep per-shard scratch without locks.
+package wire
+
+import "errors"
+
+// Addr names one endpoint on a transport. The sharded serving plane
+// assigns shard i the address Addr(i) and clients the addresses above
+// the shard range; a UDP transport would map Addr to a socket address
+// table, which is why it is a value and not a string.
+type Addr uint32
+
+// Handler consumes one delivered frame. The frame buffer is owned by
+// the transport and valid only for the duration of the call; handlers
+// that retain data must copy it. Handlers for one endpoint are never
+// invoked concurrently.
+type Handler func(frame []byte)
+
+// Transport moves frames between endpoints.
+type Transport interface {
+	// Listen registers h as a's handler. One handler per address;
+	// re-listening on a bound address is an error.
+	Listen(a Addr, h Handler) error
+	// Send delivers one encoded frame to the endpoint listening on
+	// `to`. The transport takes no ownership of the buffer — it is the
+	// caller's to reuse once Send returns. Send never blocks on the
+	// receiver (delivery is queued), and an unknown destination is an
+	// error the caller can observe — a real network cannot offer that,
+	// so routing layers must not depend on it for correctness.
+	Send(to Addr, frame []byte) error
+	// Close tears the transport down and waits for in-flight handler
+	// invocations to finish. Sends after Close fail.
+	Close() error
+}
+
+// Errors shared by transport implementations.
+var (
+	ErrClosed    = errors.New("wire: transport closed")
+	ErrNoRoute   = errors.New("wire: no endpoint at address")
+	ErrBound     = errors.New("wire: address already bound")
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrVersion   = errors.New("wire: unknown frame version")
+)
